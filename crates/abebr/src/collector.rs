@@ -1,0 +1,296 @@
+//! The global side of the reclamation scheme: epoch counter, thread slots,
+//! and the stash of garbage left behind by exited threads.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam_utils::CachePadded;
+
+use crate::guard::Guard;
+use crate::local::{Bag, LocalHandle};
+use crate::{MAX_THREADS, QUIESCENT};
+
+/// One registration slot per participating thread.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    /// Whether a live thread currently owns this slot.
+    pub(crate) in_use: AtomicBool,
+    /// The epoch announced by the owning thread while pinned, or
+    /// [`QUIESCENT`] while unpinned.
+    pub(crate) announce: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            in_use: AtomicBool::new(false),
+            announce: AtomicU64::new(QUIESCENT),
+        }
+    }
+}
+
+/// Shared state of a collector.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    /// The global epoch.
+    pub(crate) epoch: CachePadded<AtomicU64>,
+    /// Per-thread announcement slots.
+    pub(crate) slots: Box<[CachePadded<Slot>]>,
+    /// Garbage inherited from threads that unregistered before it was safe
+    /// to free.  Reclaimed opportunistically and on collector drop.
+    pub(crate) stash: Mutex<Vec<Bag>>,
+    /// Total objects retired (statistics).
+    pub(crate) retired: AtomicU64,
+    /// Total objects freed (statistics).
+    pub(crate) freed: AtomicU64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        let slots = (0..MAX_THREADS)
+            .map(|_| CachePadded::new(Slot::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            slots,
+            stash: Mutex::new(Vec::new()),
+            retired: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims a free slot for the calling thread.  Panics if more than
+    /// [`MAX_THREADS`] threads register simultaneously.
+    pub(crate) fn register(&self) -> usize {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.in_use.load(Ordering::Relaxed)
+                && slot
+                    .in_use
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                slot.announce.store(QUIESCENT, Ordering::Release);
+                return i;
+            }
+        }
+        panic!("abebr: more than {MAX_THREADS} threads registered with one collector");
+    }
+
+    /// Releases a slot and stashes the thread's unreclaimed garbage.
+    pub(crate) fn unregister(&self, slot: usize, leftover: Vec<Bag>) {
+        {
+            let mut stash = self.stash.lock().unwrap();
+            stash.extend(leftover);
+        }
+        let s = &self.slots[slot];
+        s.announce.store(QUIESCENT, Ordering::Release);
+        s.in_use.store(false, Ordering::Release);
+    }
+
+    /// Attempts to advance the global epoch by one.  Returns the epoch value
+    /// observed after the attempt (advanced or not).
+    pub(crate) fn try_advance(&self) -> u64 {
+        let global = self.epoch.load(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        for slot in self.slots.iter() {
+            if slot.in_use.load(Ordering::Acquire) {
+                let a = slot.announce.load(Ordering::SeqCst);
+                if a != QUIESCENT && a != global {
+                    // Some thread is still pinned in an older epoch.
+                    return global;
+                }
+            }
+        }
+        match self.epoch.compare_exchange(
+            global,
+            global + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => global + 1,
+            Err(actual) => actual,
+        }
+    }
+
+    /// Frees stashed bags that have become safe at `global_epoch`.
+    pub(crate) fn collect_stash(&self, global_epoch: u64) {
+        let mut to_free = Vec::new();
+        {
+            let mut stash = self.stash.lock().unwrap();
+            let mut i = 0;
+            while i < stash.len() {
+                if stash[i].epoch + 2 <= global_epoch {
+                    to_free.push(stash.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut freed = 0u64;
+        for bag in to_free {
+            freed += bag.len() as u64;
+            bag.free_all();
+        }
+        if freed > 0 {
+            self.freed.fetch_add(freed, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // At this point no thread holds a reference to the collector, so all
+        // remaining stashed garbage is unreachable and safe to free.
+        let stash = std::mem::take(self.stash.get_mut().unwrap());
+        let mut freed = 0u64;
+        for bag in stash {
+            freed += bag.len() as u64;
+            bag.free_all();
+        }
+        self.freed.fetch_add(freed, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time statistics of a [`Collector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectorStats {
+    /// Current global epoch.
+    pub epoch: u64,
+    /// Total number of objects retired so far.
+    pub retired: u64,
+    /// Total number of objects freed so far.
+    pub freed: u64,
+}
+
+/// An epoch-based garbage collector shared by all threads operating on one
+/// (or several) concurrent data structures.
+///
+/// `Collector` is cheaply cloneable (it is a reference-counted handle); every
+/// clone refers to the same epoch and garbage state.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread cache of local handles, keyed by collector identity.
+    /// Handles are dropped (unregistering their slot and stashing leftover
+    /// garbage) when the thread exits.
+    static LOCALS: RefCell<HashMap<usize, Rc<LocalHandle>>> = RefCell::new(HashMap::new());
+}
+
+impl Collector {
+    /// Creates a new collector with no registered threads.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner::new()),
+        }
+    }
+
+    fn key(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Returns (creating and registering if necessary) the calling thread's
+    /// local handle for this collector.
+    fn local(&self) -> Rc<LocalHandle> {
+        LOCALS.with(|locals| {
+            let mut map = locals.borrow_mut();
+            if let Some(h) = map.get(&self.key()) {
+                return Rc::clone(h);
+            }
+            let handle = Rc::new(LocalHandle::register(Arc::clone(&self.inner)));
+            map.insert(self.key(), Rc::clone(&handle));
+            handle
+        })
+    }
+
+    /// Pins the current thread, returning a guard.  While at least one guard
+    /// exists on this thread, memory retired by other threads after the pin
+    /// will not be freed, so pointers read from the shared structure remain
+    /// valid for the guard's lifetime.
+    pub fn pin(&self) -> Guard {
+        let local = self.local();
+        LocalHandle::pin(&local);
+        Guard::new(local)
+    }
+
+    /// Attempts to advance the epoch and reclaim any garbage (both the
+    /// calling thread's own bags and the shared stash) that has become safe.
+    pub fn flush(&self) {
+        let local = self.local();
+        local.flush();
+    }
+
+    /// Returns current statistics (epoch, retired and freed object counts).
+    pub fn stats(&self) -> CollectorStats {
+        CollectorStats {
+            epoch: self.inner.epoch.load(Ordering::SeqCst),
+            retired: self.inner.retired.load(Ordering::Relaxed),
+            freed: self.inner.freed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Debug/testing helper: is any registered thread currently pinned?
+    pub fn debug_any_thread_pinned(&self) -> bool {
+        self.inner.slots.iter().any(|s| {
+            s.in_use.load(Ordering::Acquire) && s.announce.load(Ordering::Acquire) != QUIESCENT
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_reuses_slots() {
+        let inner = Inner::new();
+        let a = inner.register();
+        let b = inner.register();
+        assert_ne!(a, b);
+        inner.unregister(a, Vec::new());
+        let c = inner.register();
+        assert_eq!(a, c, "freed slot should be reused first");
+        inner.unregister(b, Vec::new());
+        inner.unregister(c, Vec::new());
+    }
+
+    #[test]
+    fn advance_with_no_threads_always_succeeds() {
+        let inner = Inner::new();
+        assert_eq!(inner.try_advance(), 1);
+        assert_eq!(inner.try_advance(), 2);
+        assert_eq!(inner.try_advance(), 3);
+    }
+
+    #[test]
+    fn advance_blocked_by_old_announcement() {
+        let inner = Inner::new();
+        let slot = inner.register();
+        inner.slots[slot].announce.store(0, Ordering::SeqCst);
+        assert_eq!(inner.try_advance(), 1, "thread at epoch 0 allows 0->1");
+        assert_eq!(inner.try_advance(), 1, "thread still at epoch 0 blocks 1->2");
+        inner.slots[slot].announce.store(QUIESCENT, Ordering::SeqCst);
+        assert_eq!(inner.try_advance(), 2);
+        inner.unregister(slot, Vec::new());
+    }
+
+    #[test]
+    fn collector_clone_shares_state() {
+        let c1 = Collector::new();
+        let c2 = c1.clone();
+        c1.flush();
+        assert_eq!(c1.stats().epoch, c2.stats().epoch);
+    }
+}

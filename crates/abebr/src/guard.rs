@@ -1,0 +1,102 @@
+//! RAII pin guards.
+
+use std::rc::Rc;
+
+use crate::local::{Garbage, LocalHandle};
+
+/// A guard keeping the current thread pinned.
+///
+/// While any guard exists on a thread, objects retired by *other* threads
+/// after the pin took effect will not be freed, so raw pointers read from the
+/// shared structure during the guard's lifetime remain dereferenceable.
+///
+/// Guards are intentionally `!Send`: the pin is a property of the thread that
+/// created it.
+#[derive(Debug)]
+pub struct Guard {
+    local: Rc<LocalHandle>,
+}
+
+impl Guard {
+    pub(crate) fn new(local: Rc<LocalHandle>) -> Self {
+        Self { local }
+    }
+
+    /// Retires a heap allocation created with [`Box::into_raw`].  The
+    /// allocation will be dropped and freed once no thread can still hold a
+    /// reference to it.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` must have been produced by `Box::into_raw(Box::new(..))` for
+    ///   exactly the type `T`;
+    /// * the object must already be unreachable for threads that pin *after*
+    ///   this call (i.e. it has been unlinked from the shared structure);
+    /// * no other call path may free the same allocation.
+    pub unsafe fn defer_drop<T: Send + 'static>(&self, ptr: *mut T) {
+        unsafe fn destroy<T>(p: *mut u8) {
+            // SAFETY: `p` was produced from a `Box<T>` by the caller of
+            // `defer_drop`, and is executed exactly once.
+            drop(unsafe { Box::from_raw(p.cast::<T>()) });
+        }
+        self.local.retire(Garbage::Object {
+            ptr: ptr.cast(),
+            destroy: destroy::<T>,
+        });
+    }
+
+    /// Defers an arbitrary closure until the current epoch becomes
+    /// reclaimable.  Useful for freeing allocations that were not created
+    /// with `Box` (for example arena-backed persistent nodes).
+    pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
+        self.local.retire(Garbage::Deferred(Box::new(f)));
+    }
+
+    /// Number of garbage objects buffered by the current thread (testing).
+    pub fn local_pending(&self) -> usize {
+        self.local.pending()
+    }
+
+    /// Eagerly attempts an epoch advance + collection cycle.
+    pub fn flush(&self) {
+        self.local.flush();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.local.unpin();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Collector;
+
+    #[test]
+    fn guard_is_reentrant_and_unpins_in_any_order() {
+        let c = Collector::new();
+        let g1 = c.pin();
+        let g2 = c.pin();
+        let g3 = c.pin();
+        drop(g2);
+        drop(g1);
+        assert!(c.debug_any_thread_pinned());
+        drop(g3);
+        assert!(!c.debug_any_thread_pinned());
+    }
+
+    #[test]
+    fn guard_flush_reclaims_own_garbage_eventually() {
+        let c = Collector::new();
+        {
+            let g = c.pin();
+            let p = Box::into_raw(Box::new([0u64; 8]));
+            unsafe { g.defer_drop(p) };
+        }
+        for _ in 0..8 {
+            c.flush();
+        }
+        assert_eq!(c.stats().freed, 1);
+    }
+}

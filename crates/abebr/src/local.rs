@@ -1,0 +1,255 @@
+//! Per-thread state: pin depth, retirement bags, and the epoch announcement
+//! protocol.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+use crate::collector::Inner;
+use crate::{COLLECT_THRESHOLD, QUIESCENT};
+
+/// A single piece of retired garbage: either a heap object to drop or an
+/// arbitrary deferred closure.
+pub(crate) enum Garbage {
+    /// A raw pointer plus the function that knows how to drop/free it.
+    Object {
+        /// Type-erased pointer to the retired allocation.
+        ptr: *mut u8,
+        /// Frees and drops the allocation behind `ptr`.
+        destroy: unsafe fn(*mut u8),
+    },
+    /// A deferred closure.
+    Deferred(Box<dyn FnOnce() + Send>),
+}
+
+// SAFETY: the pointer inside `Object` refers to an allocation that has been
+// unlinked from all shared structures; ownership (and the responsibility to
+// free it) travels with the `Garbage` value, which is only ever executed once.
+unsafe impl Send for Garbage {}
+
+impl Garbage {
+    fn run(self) {
+        match self {
+            Garbage::Object { ptr, destroy } => {
+                // SAFETY: by construction `destroy` matches the allocation
+                // behind `ptr`, and each Garbage value is run exactly once.
+                unsafe { destroy(ptr) }
+            }
+            Garbage::Deferred(f) => f(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Garbage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Garbage::Object { ptr, .. } => write!(f, "Garbage::Object({ptr:p})"),
+            Garbage::Deferred(_) => write!(f, "Garbage::Deferred"),
+        }
+    }
+}
+
+/// A bag of garbage retired during one epoch.
+#[derive(Debug)]
+pub(crate) struct Bag {
+    /// Global epoch observed when the items were retired.
+    pub(crate) epoch: u64,
+    items: Vec<Garbage>,
+}
+
+impl Bag {
+    fn new(epoch: u64) -> Self {
+        Self {
+            epoch,
+            items: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub(crate) fn free_all(self) {
+        for g in self.items {
+            g.run();
+        }
+    }
+}
+
+/// Per-thread handle onto a [`crate::Collector`].
+///
+/// Handles are created lazily on first pin, cached in a thread-local map and
+/// dropped (unregistering the slot) when the thread exits.
+#[derive(Debug)]
+pub struct LocalHandle {
+    inner: Arc<Inner>,
+    slot: usize,
+    pin_depth: Cell<usize>,
+    /// Bags of retired garbage ordered by retirement epoch (front = oldest).
+    bags: RefCell<VecDeque<Bag>>,
+    retired_since_collect: Cell<usize>,
+}
+
+impl LocalHandle {
+    /// Registers the calling thread with `inner` and returns its handle.
+    pub(crate) fn register(inner: Arc<Inner>) -> Self {
+        let slot = inner.register();
+        Self {
+            inner,
+            slot,
+            pin_depth: Cell::new(0),
+            bags: RefCell::new(VecDeque::new()),
+            retired_since_collect: Cell::new(0),
+        }
+    }
+
+    /// Enters a pinned region (reentrant).
+    pub(crate) fn pin(self: &Rc<Self>) {
+        let depth = self.pin_depth.get();
+        if depth == 0 {
+            let epoch = self.inner.epoch.load(Ordering::SeqCst);
+            self.inner.slots[self.slot]
+                .announce
+                .store(epoch, Ordering::SeqCst);
+            // Make the announcement visible before any subsequent shared
+            // reads performed inside the critical region.
+            fence(Ordering::SeqCst);
+        }
+        self.pin_depth.set(depth + 1);
+    }
+
+    /// Leaves a pinned region.
+    pub(crate) fn unpin(&self) {
+        let depth = self.pin_depth.get();
+        debug_assert!(depth > 0, "unpin without matching pin");
+        if depth == 1 {
+            self.inner.slots[self.slot]
+                .announce
+                .store(QUIESCENT, Ordering::Release);
+        }
+        self.pin_depth.set(depth - 1);
+    }
+
+    /// Is the owning thread currently pinned?
+    pub fn is_pinned(&self) -> bool {
+        self.pin_depth.get() > 0
+    }
+
+    /// Adds `garbage` to the current epoch's bag and occasionally triggers a
+    /// collection cycle.
+    pub(crate) fn retire(&self, garbage: Garbage) {
+        let epoch = self.inner.epoch.load(Ordering::SeqCst);
+        {
+            let mut bags = self.bags.borrow_mut();
+            match bags.back_mut() {
+                Some(bag) if bag.epoch == epoch => bag.items.push(garbage),
+                _ => {
+                    let mut bag = Bag::new(epoch);
+                    bag.items.push(garbage);
+                    bags.push_back(bag);
+                }
+            }
+        }
+        self.inner.retired.fetch_add(1, Ordering::Relaxed);
+        let n = self.retired_since_collect.get() + 1;
+        self.retired_since_collect.set(n);
+        if n >= COLLECT_THRESHOLD {
+            self.retired_since_collect.set(0);
+            self.try_collect();
+        }
+    }
+
+    /// Attempts to advance the epoch, then frees every local bag (and shared
+    /// stash bag) that has become safe.
+    pub(crate) fn try_collect(&self) {
+        let global = self.inner.try_advance();
+        let mut freed = 0u64;
+        {
+            let mut bags = self.bags.borrow_mut();
+            while let Some(front) = bags.front() {
+                if front.epoch + 2 <= global {
+                    let bag = bags.pop_front().expect("front checked above");
+                    freed += bag.len() as u64;
+                    bag.free_all();
+                } else {
+                    break;
+                }
+            }
+        }
+        if freed > 0 {
+            self.inner.freed.fetch_add(freed, Ordering::Relaxed);
+        }
+        self.inner.collect_stash(global);
+    }
+
+    /// Public entry point used by [`crate::Collector::flush`].
+    pub(crate) fn flush(&self) {
+        self.try_collect();
+    }
+
+    /// Number of garbage objects currently buffered by this thread
+    /// (diagnostics for tests).
+    pub fn pending(&self) -> usize {
+        self.bags.borrow().iter().map(Bag::len).sum()
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        debug_assert_eq!(
+            self.pin_depth.get(),
+            0,
+            "thread exited while pinned (a Guard outlived its thread?)"
+        );
+        let leftover: Vec<Bag> = self.bags.borrow_mut().drain(..).collect();
+        self.inner.unregister(self.slot, leftover);
+        // Give the garbage we just stashed a chance to be freed promptly if
+        // it is already safe.
+        let global = self.inner.try_advance();
+        self.inner.collect_stash(global);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Collector;
+
+    #[test]
+    fn pending_counts_buffered_garbage() {
+        let collector = Collector::new();
+        let guard = collector.pin();
+        for _ in 0..5 {
+            let p = Box::into_raw(Box::new(1u8));
+            unsafe { guard.defer_drop(p) };
+        }
+        assert_eq!(guard.local_pending(), 5);
+        drop(guard);
+        for _ in 0..8 {
+            collector.flush();
+        }
+        let s = collector.stats();
+        assert_eq!(s.freed, 5);
+    }
+
+    #[test]
+    fn bag_epoch_grouping() {
+        let collector = Collector::new();
+        {
+            let guard = collector.pin();
+            let p = Box::into_raw(Box::new(1u8));
+            unsafe { guard.defer_drop(p) };
+        }
+        collector.flush(); // advances epoch
+        {
+            let guard = collector.pin();
+            let p = Box::into_raw(Box::new(2u8));
+            unsafe { guard.defer_drop(p) };
+        }
+        for _ in 0..8 {
+            collector.flush();
+        }
+        assert_eq!(collector.stats().freed, 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Flush/fence event tracking for tests.
+//!
+//! The durable trees' correctness rests on *ordering* properties — e.g. the
+//! link-and-persist rule of §5: a newly created node must be flushed before
+//! the pointer that links it into the tree is flushed, and a marked pointer
+//! must be flushed before its mark is removed.  The tracker records the exact
+//! global sequence of flush and fence events so unit tests can assert such
+//! orderings.
+//!
+//! Tracking sessions also act as a cross-test mutex: because the persist mode
+//! and the event log are process-global, any test that manipulates them takes
+//! a [`TrackingSession`], and sessions serialize through one static lock.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One recorded persistence event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushEvent {
+    /// A flush of the cache lines overlapping `[addr, addr + len)`.
+    Flush {
+        /// Starting address of the flushed range.
+        addr: usize,
+        /// Length of the flushed range in bytes.
+        len: usize,
+    },
+    /// A store fence.
+    Fence,
+}
+
+impl FlushEvent {
+    /// Returns `true` if this event is a flush covering address `addr`.
+    pub fn covers(&self, target: usize) -> bool {
+        match *self {
+            FlushEvent::Flush { addr, len } => target >= addr && target < addr + len,
+            FlushEvent::Fence => false,
+        }
+    }
+}
+
+struct TrackerState {
+    enabled: bool,
+    events: Vec<FlushEvent>,
+}
+
+static EVENTS: OnceLock<Mutex<TrackerState>> = OnceLock::new();
+static SESSION_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+fn state() -> &'static Mutex<TrackerState> {
+    EVENTS.get_or_init(|| {
+        Mutex::new(TrackerState {
+            enabled: false,
+            events: Vec::new(),
+        })
+    })
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    SESSION_LOCK.get_or_init(|| Mutex::new(()))
+}
+
+pub(crate) fn record_flush(addr: usize, len: usize) {
+    let mut s = state().lock().unwrap();
+    if s.enabled {
+        s.events.push(FlushEvent::Flush { addr, len });
+    }
+}
+
+pub(crate) fn record_fence() {
+    let mut s = state().lock().unwrap();
+    if s.enabled {
+        s.events.push(FlushEvent::Fence);
+    }
+}
+
+/// A scoped tracking session.
+///
+/// Starting a session clears the event log and enables recording; calling
+/// [`TrackingSession::finish`] (or dropping the session) disables recording.
+/// Only one session can exist at a time; concurrent attempts block, which
+/// conveniently serializes tests that depend on the global persist mode.
+pub struct TrackingSession {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl TrackingSession {
+    /// Begins recording flush/fence events (clearing any previous log).
+    pub fn start() -> Self {
+        let serial = match session_lock().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        {
+            let mut s = state().lock().unwrap();
+            s.enabled = true;
+            s.events.clear();
+        }
+        Self { _serial: serial }
+    }
+
+    /// Returns a snapshot of the events recorded so far without ending the
+    /// session.
+    pub fn snapshot(&self) -> Vec<FlushEvent> {
+        state().lock().unwrap().events.clone()
+    }
+
+    /// Stops recording and returns all recorded events.
+    pub fn finish(self) -> Vec<FlushEvent> {
+        let mut s = state().lock().unwrap();
+        s.enabled = false;
+        std::mem::take(&mut s.events)
+        // `self._serial` dropped afterwards, releasing the session lock.
+    }
+
+    /// Asserts that some flush covering `earlier` appears before some flush
+    /// covering `later` in the recorded sequence.  Panics with a descriptive
+    /// message otherwise.  Intended for use in tests.
+    pub fn assert_flushed_before(events: &[FlushEvent], earlier: usize, later: usize) {
+        let first_earlier = events.iter().position(|e| e.covers(earlier));
+        let first_later = events.iter().position(|e| e.covers(later));
+        match (first_earlier, first_later) {
+            (Some(a), Some(b)) => assert!(
+                a < b,
+                "expected a flush of {earlier:#x} (index {a}) before the first flush of {later:#x} (index {b})"
+            ),
+            (None, _) => panic!("no flush covering {earlier:#x} was recorded"),
+            (_, None) => panic!("no flush covering {later:#x} was recorded"),
+        }
+    }
+}
+
+impl Drop for TrackingSession {
+    fn drop(&mut self) {
+        let mut s = state().lock().unwrap();
+        s.enabled = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::{flush_value, set_mode, sfence, PersistMode};
+
+    #[test]
+    fn session_records_and_clears() {
+        let session = TrackingSession::start();
+        set_mode(PersistMode::CountOnly);
+        let x = 5u32;
+        flush_value(&x);
+        sfence();
+        assert_eq!(session.snapshot().len(), 2);
+        let events = session.finish();
+        assert_eq!(events.len(), 2);
+
+        // A new session starts from an empty log.
+        let session2 = TrackingSession::start();
+        assert!(session2.snapshot().is_empty());
+        drop(session2);
+    }
+
+    #[test]
+    fn covers_predicate() {
+        let e = FlushEvent::Flush { addr: 100, len: 8 };
+        assert!(e.covers(100));
+        assert!(e.covers(107));
+        assert!(!e.covers(108));
+        assert!(!FlushEvent::Fence.covers(100));
+    }
+
+    #[test]
+    fn assert_flushed_before_works() {
+        let events = vec![
+            FlushEvent::Flush { addr: 0x10, len: 8 },
+            FlushEvent::Fence,
+            FlushEvent::Flush { addr: 0x80, len: 8 },
+        ];
+        TrackingSession::assert_flushed_before(&events, 0x10, 0x80);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first flush")]
+    fn assert_flushed_before_detects_violation() {
+        let events = vec![
+            FlushEvent::Flush { addr: 0x80, len: 8 },
+            FlushEvent::Flush { addr: 0x10, len: 8 },
+        ];
+        TrackingSession::assert_flushed_before(&events, 0x10, 0x80);
+    }
+}

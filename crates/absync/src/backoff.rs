@@ -1,0 +1,128 @@
+//! Bounded exponential backoff for contended retry loops.
+//!
+//! Both trees in the paper retry optimistic reads and lock acquisitions when
+//! they observe concurrent modifications.  Uncontrolled spinning on the same
+//! cache line generates coherence traffic that slows down the very writer we
+//! are waiting for, so retry loops back off exponentially (spin-wait first,
+//! then yield to the OS scheduler once the wait becomes long).
+
+use core::sync::atomic::{compiler_fence, Ordering};
+
+/// Initial number of `spin_loop` hints issued by [`Backoff::spin`].
+const INITIAL_SPINS: u32 = 4;
+/// Spin counts double until they reach this bound, after which
+/// [`Backoff::is_long`] reports `true` and callers may prefer to yield.
+const MAX_SPINS: u32 = 1 << 10;
+
+/// Exponential backoff helper.
+///
+/// # Examples
+///
+/// ```
+/// use absync::Backoff;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let flag = AtomicBool::new(true);
+/// let mut backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.wait();
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    spins: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Creates a fresh backoff with the minimum spin count.
+    pub const fn new() -> Self {
+        Self {
+            spins: INITIAL_SPINS,
+        }
+    }
+
+    /// Resets the backoff to its initial (shortest) wait.
+    pub fn reset(&mut self) {
+        self.spins = INITIAL_SPINS;
+    }
+
+    /// Spins for the current wait length and doubles the next wait, up to a
+    /// bound.  Use this in loops that wait for another *running* thread (for
+    /// example, waiting for a leaf's version to become even).
+    pub fn spin(&mut self) {
+        for _ in 0..self.spins {
+            core::hint::spin_loop();
+        }
+        // Prevent the compiler from collapsing the loop entirely.
+        compiler_fence(Ordering::SeqCst);
+        if self.spins < MAX_SPINS {
+            self.spins = self.spins.saturating_mul(2);
+        }
+    }
+
+    /// Spins, and yields to the scheduler once the backoff has saturated.
+    /// Use this in loops that may wait for a descheduled thread.
+    pub fn wait(&mut self) {
+        if self.is_long() {
+            std::thread::yield_now();
+        } else {
+            self.spin();
+        }
+    }
+
+    /// Returns `true` once the backoff has reached its maximum spin count,
+    /// which is a hint that the caller should consider yielding or taking a
+    /// slower fallback path.
+    pub fn is_long(&self) -> bool {
+        self.spins >= MAX_SPINS
+    }
+
+    /// Current spin count (exposed for tests and diagnostics).
+    pub fn spins(&self) -> u32 {
+        self.spins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let mut b = Backoff::new();
+        let first = b.spins();
+        b.spin();
+        assert!(b.spins() > first);
+        for _ in 0..32 {
+            b.spin();
+        }
+        assert!(b.is_long());
+        assert_eq!(b.spins(), MAX_SPINS);
+    }
+
+    #[test]
+    fn backoff_resets() {
+        let mut b = Backoff::new();
+        for _ in 0..16 {
+            b.spin();
+        }
+        b.reset();
+        assert_eq!(b.spins(), INITIAL_SPINS);
+        assert!(!b.is_long());
+    }
+
+    #[test]
+    fn wait_does_not_panic_when_long() {
+        let mut b = Backoff::new();
+        for _ in 0..64 {
+            b.wait();
+        }
+        assert!(b.is_long());
+    }
+}

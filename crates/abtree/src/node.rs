@@ -1,0 +1,454 @@
+//! Tree node representation shared by the OCC-ABtree and Elim-ABtree.
+//!
+//! The paper (Fig. 1) uses three node types — `Leaf`, `Internal` and
+//! `TaggedInternal` — that share the key array, lock, size and marked bit.
+//! Like the authors' C++ artifact we use a single allocation layout for all
+//! three and discriminate with a [`NodeKind`] field: nodes are referenced
+//! through raw pointers from multiple threads, so a single layout keeps the
+//! unsafe surface small.
+//!
+//! Field roles (paper §3.1):
+//!
+//! * `keys` — up to [`MAX_KEYS`] keys.  In leaves the array is **unsorted**
+//!   and may contain [`EMPTY_KEY`] holes; in internal nodes the first
+//!   `size - 1` entries are sorted routing keys and never change after the
+//!   node is created.
+//! * `vals` — leaf values, parallel to `keys`.
+//! * `ptrs` — internal child pointers; the only mutable part of an internal
+//!   node.
+//! * `ver` — leaf version: even when stable, odd while a locked writer is
+//!   modifying the leaf.  The second increment (odd → even) is the
+//!   linearization point of simple inserts and successful deletes.
+//! * `marked` — set (permanently) when the node is unlinked from the tree.
+//! * `size` — number of keys (leaf) or children (internal).
+//! * `rec_*` — the Elim-ABtree's publishing-elimination record (§4.1): the
+//!   key, value and odd version of the last simple insert / successful delete
+//!   applied to this leaf.
+//! * `search_key` — a key guaranteed to lie in this node's key range, used by
+//!   `fixTagged`/`fixUnderfull` to re-locate the node from the root.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use absync::RawNodeLock;
+
+use crate::{EMPTY_KEY, MAX_KEYS};
+
+/// Dirty-bit used by the link-and-persist technique (paper §5): a child
+/// pointer whose least-significant bit is set has been written but not yet
+/// flushed to persistent memory, so operations must not act on it until the
+/// bit is cleared (after the flush).  Volatile trees never set the bit.
+pub(crate) const DIRTY_BIT: usize = 1;
+
+/// Tags a pointer as "written but not yet persisted".
+#[inline]
+pub(crate) fn tag_dirty<L: RawNodeLock>(p: *mut Node<L>) -> *mut Node<L> {
+    (p as usize | DIRTY_BIT) as *mut Node<L>
+}
+
+/// Removes the dirty tag (if any) from a pointer.
+#[inline]
+pub(crate) fn untag<L: RawNodeLock>(p: *mut Node<L>) -> *mut Node<L> {
+    (p as usize & !DIRTY_BIT) as *mut Node<L>
+}
+
+/// Is the dirty tag set?
+#[inline]
+pub(crate) fn is_dirty<L: RawNodeLock>(p: *mut Node<L>) -> bool {
+    (p as usize & DIRTY_BIT) != 0
+}
+
+/// Discriminates the three node roles of the paper's Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A leaf holding key/value pairs in unsorted slots.
+    Leaf,
+    /// A routing node with sorted, immutable keys and mutable child pointers.
+    Internal,
+    /// A temporary two-child internal node produced by a splitting insert;
+    /// removed by the `fixTagged` rebalancing step.
+    TaggedInternal,
+}
+
+/// A tree node.  See the module documentation for field roles.
+pub struct Node<L: RawNodeLock> {
+    /// Per-node lock (MCS in the paper's configuration).
+    pub(crate) lock: L,
+    /// Role of this node; never changes after creation.
+    pub(crate) kind: NodeKind,
+    /// A key inside this node's key range (constant).
+    pub(crate) search_key: u64,
+    /// Set once the node has been unlinked from the tree.
+    pub(crate) marked: AtomicBool,
+    /// Number of keys (leaf) or children (internal).
+    pub(crate) size: AtomicUsize,
+    /// Leaf version (even = stable, odd = being modified).
+    pub(crate) ver: AtomicU64,
+    /// Keys (leaf: unsorted with holes; internal: sorted routing keys).
+    pub(crate) keys: [AtomicU64; MAX_KEYS],
+    /// Leaf values, parallel to `keys`.
+    pub(crate) vals: [AtomicU64; MAX_KEYS],
+    /// Internal child pointers.
+    pub(crate) ptrs: [AtomicPtr<Node<L>>; MAX_KEYS],
+    /// Publishing-elimination record: key of the last leaf-modifying update.
+    pub(crate) rec_key: AtomicU64,
+    /// Publishing-elimination record: value inserted / deleted by it.
+    pub(crate) rec_val: AtomicU64,
+    /// Publishing-elimination record: the odd version it published.
+    pub(crate) rec_ver: AtomicU64,
+}
+
+impl<L: RawNodeLock> std::fmt::Debug for Node<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("kind", &self.kind)
+            .field("search_key", &self.search_key)
+            .field("size", &self.size.load(Ordering::Relaxed))
+            .field("marked", &self.marked.load(Ordering::Relaxed))
+            .field("ver", &self.ver.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+fn empty_keys() -> [AtomicU64; MAX_KEYS] {
+    std::array::from_fn(|_| AtomicU64::new(EMPTY_KEY))
+}
+
+fn zero_vals() -> [AtomicU64; MAX_KEYS] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+fn null_ptrs<L: RawNodeLock>() -> [AtomicPtr<Node<L>>; MAX_KEYS] {
+    std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut()))
+}
+
+impl<L: RawNodeLock> Node<L> {
+    fn blank(kind: NodeKind, search_key: u64) -> Self {
+        Self {
+            lock: L::default(),
+            kind,
+            search_key,
+            marked: AtomicBool::new(false),
+            size: AtomicUsize::new(0),
+            ver: AtomicU64::new(0),
+            keys: empty_keys(),
+            vals: zero_vals(),
+            ptrs: null_ptrs::<L>(),
+            rec_key: AtomicU64::new(EMPTY_KEY),
+            rec_val: AtomicU64::new(0),
+            rec_ver: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an empty leaf.
+    pub(crate) fn new_leaf(search_key: u64) -> Box<Self> {
+        Box::new(Self::blank(NodeKind::Leaf, search_key))
+    }
+
+    /// Creates a leaf pre-populated with `entries` (placed in slots
+    /// `0..entries.len()`).
+    pub(crate) fn new_leaf_from(search_key: u64, entries: &[(u64, u64)]) -> Box<Self> {
+        debug_assert!(entries.len() <= MAX_KEYS);
+        let node = Self::blank(NodeKind::Leaf, search_key);
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            debug_assert_ne!(k, EMPTY_KEY);
+            node.keys[i].store(k, Ordering::Relaxed);
+            node.vals[i].store(v, Ordering::Relaxed);
+        }
+        node.size.store(entries.len(), Ordering::Relaxed);
+        Box::new(node)
+    }
+
+    /// Creates an internal (or tagged internal) node with the given sorted
+    /// routing keys and children.  `children.len()` must equal
+    /// `keys.len() + 1`.
+    pub(crate) fn new_internal_from(
+        kind: NodeKind,
+        search_key: u64,
+        routing_keys: &[u64],
+        children: &[*mut Node<L>],
+    ) -> Box<Self> {
+        debug_assert!(matches!(
+            kind,
+            NodeKind::Internal | NodeKind::TaggedInternal
+        ));
+        debug_assert_eq!(children.len(), routing_keys.len() + 1);
+        debug_assert!(children.len() <= MAX_KEYS);
+        debug_assert!(routing_keys.windows(2).all(|w| w[0] < w[1]));
+        let node = Self::blank(kind, search_key);
+        for (i, &k) in routing_keys.iter().enumerate() {
+            node.keys[i].store(k, Ordering::Relaxed);
+        }
+        for (i, &c) in children.iter().enumerate() {
+            node.ptrs[i].store(c, Ordering::Relaxed);
+        }
+        node.size.store(children.len(), Ordering::Relaxed);
+        Box::new(node)
+    }
+
+    /// Creates the sentinel entry node pointing at `root`.
+    pub(crate) fn new_entry(root: *mut Node<L>) -> Box<Self> {
+        let node = Self::blank(NodeKind::Internal, 0);
+        node.ptrs[0].store(root, Ordering::Relaxed);
+        node.size.store(1, Ordering::Relaxed);
+        Box::new(node)
+    }
+
+    // ----- basic accessors ------------------------------------------------
+
+    /// Is this a leaf?
+    #[inline]
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.kind == NodeKind::Leaf
+    }
+
+    /// Is this a tagged internal node?
+    #[inline]
+    pub(crate) fn is_tagged(&self) -> bool {
+        self.kind == NodeKind::TaggedInternal
+    }
+
+    /// Current size (keys for leaves, children for internal nodes).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Has this node been unlinked from the tree?
+    #[inline]
+    pub(crate) fn is_marked(&self) -> bool {
+        self.marked.load(Ordering::Acquire)
+    }
+
+    /// Marks this node as unlinked (never unmarked).
+    #[inline]
+    pub(crate) fn mark(&self) {
+        self.marked.store(true, Ordering::Release);
+    }
+
+    /// Relaxed read of `keys[i]`.
+    #[inline]
+    pub(crate) fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed read of `vals[i]`.
+    #[inline]
+    pub(crate) fn val(&self, i: usize) -> u64 {
+        self.vals[i].load(Ordering::Relaxed)
+    }
+
+    /// Loads child pointer `i` (acquire, so the child's immutable fields are
+    /// visible), stripping any link-and-persist dirty tag.
+    #[inline]
+    pub(crate) fn child(&self, i: usize) -> *mut Node<L> {
+        untag(self.ptrs[i].load(Ordering::Acquire))
+    }
+
+    /// Loads child pointer `i` without stripping the dirty tag (used by the
+    /// durable trees' helping reads and by recovery).
+    #[inline]
+    pub(crate) fn child_raw(&self, i: usize) -> *mut Node<L> {
+        self.ptrs[i].load(Ordering::Acquire)
+    }
+
+    /// Stores child pointer `i` (release).  Only called while holding this
+    /// node's lock (or during construction).
+    #[inline]
+    pub(crate) fn set_child(&self, i: usize, child: *mut Node<L>) {
+        self.ptrs[i].store(child, Ordering::Release);
+    }
+
+    /// Routing step of the paper's `search` (Fig. 2 lines 51-52): the index
+    /// of the child whose key range contains `key`.
+    #[inline]
+    pub(crate) fn child_index(&self, key: u64) -> usize {
+        let size = self.len();
+        let mut idx = 0;
+        while idx < size.saturating_sub(1) && key >= self.key(idx) {
+            idx += 1;
+        }
+        idx
+    }
+
+    // ----- leaf version protocol -----------------------------------------
+
+    /// Acquire-load of the leaf version.
+    #[inline]
+    pub(crate) fn version(&self) -> u64 {
+        self.ver.load(Ordering::Acquire)
+    }
+
+    /// Starts a leaf modification: bumps the version to an odd value.
+    /// Caller must hold the leaf's lock.  Returns the odd version.
+    #[inline]
+    pub(crate) fn begin_write(&self) -> u64 {
+        let v = self.ver.load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 0, "begin_write on an in-progress leaf");
+        self.ver.store(v + 1, Ordering::Relaxed);
+        // Order the version bump before the subsequent data writes.
+        std::sync::atomic::fence(Ordering::Release);
+        v + 1
+    }
+
+    /// Ends a leaf modification: bumps the version back to even.  This is the
+    /// linearization point of simple inserts and successful deletes.
+    #[inline]
+    pub(crate) fn end_write(&self) {
+        let v = self.ver.load(Ordering::Relaxed);
+        debug_assert_eq!(v % 2, 1, "end_write without begin_write");
+        self.ver.store(v + 1, Ordering::Release);
+    }
+
+    // ----- locked leaf helpers --------------------------------------------
+
+    /// Scans the leaf for `key`; caller must hold the leaf's lock (or accept
+    /// an unvalidated answer).  Returns the slot index and value.
+    pub(crate) fn locked_find(&self, key: u64) -> Option<(usize, u64)> {
+        for i in 0..MAX_KEYS {
+            if self.key(i) == key {
+                return Some((i, self.val(i)));
+            }
+        }
+        None
+    }
+
+    /// Finds an empty slot; caller must hold the leaf's lock.
+    pub(crate) fn locked_empty_slot(&self) -> Option<usize> {
+        (0..MAX_KEYS).find(|&i| self.key(i) == EMPTY_KEY)
+    }
+
+    /// Collects all key/value pairs; caller must hold the leaf's lock (or the
+    /// tree must be quiescent).
+    pub(crate) fn locked_entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len());
+        for i in 0..MAX_KEYS {
+            let k = self.key(i);
+            if k != EMPTY_KEY {
+                out.push((k, self.val(i)));
+            }
+        }
+        out
+    }
+
+    // ----- publishing elimination record ----------------------------------
+
+    /// Publishes the elimination record for an update with the given odd
+    /// version.  Caller must hold the lock and have already bumped the
+    /// version to `odd_ver`.
+    #[inline]
+    pub(crate) fn publish_record(&self, key: u64, val: u64, odd_ver: u64) {
+        debug_assert_eq!(odd_ver % 2, 1);
+        self.rec_key.store(key, Ordering::Relaxed);
+        self.rec_val.store(val, Ordering::Relaxed);
+        self.rec_ver.store(odd_ver, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of the elimination record fields.
+    #[inline]
+    pub(crate) fn read_record(&self) -> (u64, u64, u64) {
+        (
+            self.rec_key.load(Ordering::Relaxed),
+            self.rec_val.load(Ordering::Relaxed),
+            self.rec_ver.load(Ordering::Relaxed),
+        )
+    }
+
+    // ----- allocation helpers ---------------------------------------------
+
+    /// Leaks a boxed node into a raw pointer for linking into the tree.
+    pub(crate) fn into_raw(node: Box<Self>) -> *mut Self {
+        Box::into_raw(node)
+    }
+}
+
+// SAFETY: all shared mutable state inside a Node is accessed through atomics
+// or under the node's lock; raw child pointers are managed by the tree's
+// epoch-based reclamation discipline.
+unsafe impl<L: RawNodeLock> Send for Node<L> {}
+unsafe impl<L: RawNodeLock> Sync for Node<L> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use absync::McsLock;
+
+    type N = Node<McsLock>;
+
+    #[test]
+    fn new_leaf_is_empty_and_unmarked() {
+        let leaf = N::new_leaf(5);
+        assert!(leaf.is_leaf());
+        assert!(!leaf.is_tagged());
+        assert_eq!(leaf.len(), 0);
+        assert!(!leaf.is_marked());
+        assert_eq!(leaf.version(), 0);
+        assert!(leaf.locked_find(1).is_none());
+        assert_eq!(leaf.locked_empty_slot(), Some(0));
+    }
+
+    #[test]
+    fn leaf_from_entries() {
+        let leaf = N::new_leaf_from(10, &[(10, 100), (20, 200), (30, 300)]);
+        assert_eq!(leaf.len(), 3);
+        assert_eq!(leaf.locked_find(20), Some((1, 200)));
+        assert_eq!(leaf.locked_entries(), vec![(10, 100), (20, 200), (30, 300)]);
+        assert_eq!(leaf.locked_empty_slot(), Some(3));
+    }
+
+    #[test]
+    fn internal_routing() {
+        let l1 = N::into_raw(N::new_leaf(0));
+        let l2 = N::into_raw(N::new_leaf(10));
+        let l3 = N::into_raw(N::new_leaf(20));
+        let internal = N::new_internal_from(NodeKind::Internal, 10, &[10, 20], &[l1, l2, l3]);
+        assert_eq!(internal.len(), 3);
+        assert_eq!(internal.child_index(5), 0);
+        assert_eq!(internal.child_index(10), 1);
+        assert_eq!(internal.child_index(15), 1);
+        assert_eq!(internal.child_index(20), 2);
+        assert_eq!(internal.child_index(u64::MAX - 1), 2);
+        assert_eq!(internal.child(0), l1);
+        assert_eq!(internal.child(2), l3);
+        // Clean up raw allocations.
+        unsafe {
+            drop(Box::from_raw(l1));
+            drop(Box::from_raw(l2));
+            drop(Box::from_raw(l3));
+        }
+    }
+
+    #[test]
+    fn version_protocol() {
+        let leaf = N::new_leaf(0);
+        let odd = leaf.begin_write();
+        assert_eq!(odd, 1);
+        assert_eq!(leaf.version(), 1);
+        leaf.end_write();
+        assert_eq!(leaf.version(), 2);
+    }
+
+    #[test]
+    fn elimination_record_round_trip() {
+        let leaf = N::new_leaf(0);
+        assert_eq!(leaf.read_record().0, EMPTY_KEY);
+        leaf.publish_record(7, 70, 3);
+        assert_eq!(leaf.read_record(), (7, 70, 3));
+    }
+
+    #[test]
+    fn mark_is_sticky() {
+        let leaf = N::new_leaf(0);
+        leaf.mark();
+        assert!(leaf.is_marked());
+    }
+
+    #[test]
+    fn entry_node_points_to_root() {
+        let root = N::into_raw(N::new_leaf(0));
+        let entry = N::new_entry(root);
+        assert_eq!(entry.len(), 1);
+        assert_eq!(entry.child(0), root);
+        assert_eq!(entry.child_index(12345), 0);
+        unsafe { drop(Box::from_raw(root)) };
+    }
+}

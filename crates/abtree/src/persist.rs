@@ -1,0 +1,91 @@
+//! The persistence policy abstraction.
+//!
+//! The paper's durable trees (p-OCC-ABtree and p-Elim-ABtree, §5) are "minor
+//! modifications" of the volatile trees: the algorithms are identical except
+//! that
+//!
+//! * a simple insert flushes the value and then the key (the insert becomes
+//!   durable when the key reaches persistent memory),
+//! * a successful delete flushes the emptied key slot,
+//! * structural updates flush the newly created nodes *before* publishing the
+//!   single child-pointer write, and then flush that pointer using the
+//!   **link-and-persist** technique: the pointer is first written with a
+//!   "dirty" mark, flushed, and only then unmarked, so that no thread can act
+//!   on a pointer that is not yet durable.
+//!
+//! Rather than maintaining a second copy of the tree code, the tree is
+//! generic over a [`Persist`] policy.  [`VolatilePersist`] compiles every
+//! hook to a no-op (yielding exactly the paper's volatile trees), while the
+//! `pabtree` crate provides a durable policy backed by the `abpmem` crate's
+//! flush/fence primitives.
+
+/// A persistence policy: how (and whether) stores are made durable.
+pub trait Persist: Send + Sync + 'static {
+    /// `true` for durable policies.  All persistence logic in the tree is
+    /// guarded by this constant so the volatile instantiation carries zero
+    /// overhead.
+    const DURABLE: bool;
+
+    /// Flushes the cache lines covering `[ptr, ptr + len)` and fences (the
+    /// paper's "flush": `clwb` + `sfence`).
+    fn persist_range(ptr: *const u8, len: usize);
+
+    /// Flushes the cache lines covering `[ptr, ptr + len)` without fencing.
+    fn flush_range(ptr: *const u8, len: usize);
+
+    /// Issues a store fence ordering previously issued flushes.
+    fn fence();
+
+    /// Convenience: flush + fence a single value.
+    fn persist_value<T>(value: &T) {
+        Self::persist_range(value as *const T as *const u8, std::mem::size_of::<T>());
+    }
+
+    /// Convenience: flush (no fence) a single value.
+    fn flush_value<T>(value: &T) {
+        Self::flush_range(value as *const T as *const u8, std::mem::size_of::<T>());
+    }
+
+    /// Short policy name for diagnostics.
+    fn policy_name() -> &'static str;
+}
+
+/// The volatile policy: every hook is a no-op.  This is the paper's
+/// OCC-ABtree / Elim-ABtree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VolatilePersist;
+
+impl Persist for VolatilePersist {
+    const DURABLE: bool = false;
+
+    #[inline(always)]
+    fn persist_range(_ptr: *const u8, _len: usize) {}
+
+    #[inline(always)]
+    fn flush_range(_ptr: *const u8, _len: usize) {}
+
+    #[inline(always)]
+    fn fence() {}
+
+    fn policy_name() -> &'static str {
+        "volatile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatile_policy_is_marked_not_durable() {
+        assert!(!VolatilePersist::DURABLE);
+        assert_eq!(VolatilePersist::policy_name(), "volatile");
+        // The hooks must be callable with arbitrary (even null) ranges.
+        VolatilePersist::persist_range(std::ptr::null(), 0);
+        VolatilePersist::flush_range(std::ptr::null(), 64);
+        VolatilePersist::fence();
+        let x = 5u64;
+        VolatilePersist::persist_value(&x);
+        VolatilePersist::flush_value(&x);
+    }
+}

@@ -1,0 +1,238 @@
+//! A typed wrapper over the `u64 -> u64` tree engine.
+//!
+//! The paper's evaluation uses 8-byte keys and values, which is what the core
+//! engine stores.  Applications that want typed keys (e.g. `i64` order IDs or
+//! `u32` user IDs) and typed values can use [`TypedTree`], which maps any
+//! [`KeyCodec`] key type onto the engine's `u64` key space with an
+//! **order-preserving** encoding, and any [`ValueCodec`] value type onto the
+//! 8-byte value slot.
+//!
+//! ```
+//! use abtree::{ElimABTree, TypedTree};
+//!
+//! let tree: TypedTree<i64, u32, ElimABTree> = TypedTree::default();
+//! tree.insert(-5, 100);
+//! tree.insert(3, 200);
+//! assert_eq!(tree.get(-5), Some(100));
+//! assert_eq!(tree.get(3), Some(200));
+//! assert_eq!(tree.remove(-5), Some(100));
+//! ```
+
+use std::marker::PhantomData;
+
+use crate::{ConcurrentMap, ElimABTree, EMPTY_KEY};
+
+/// A fixed-size key type that can be encoded into the engine's `u64` key
+/// space such that the encoding preserves ordering.
+pub trait KeyCodec: Copy + Ord {
+    /// Encodes the key.  The result must be strictly less than
+    /// [`EMPTY_KEY`] and the mapping must be strictly monotone.
+    fn encode_key(self) -> u64;
+    /// Decodes a key previously produced by [`KeyCodec::encode_key`].
+    fn decode_key(raw: u64) -> Self;
+}
+
+/// A fixed-size value type storable in the engine's 8-byte value slot.
+pub trait ValueCodec: Copy {
+    /// Encodes the value into 8 bytes.
+    fn encode_value(self) -> u64;
+    /// Decodes a value previously produced by [`ValueCodec::encode_value`].
+    fn decode_value(raw: u64) -> Self;
+}
+
+impl KeyCodec for u64 {
+    fn encode_key(self) -> u64 {
+        debug_assert_ne!(self, EMPTY_KEY, "u64::MAX is reserved as EMPTY_KEY");
+        self
+    }
+    fn decode_key(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl KeyCodec for u32 {
+    fn encode_key(self) -> u64 {
+        self as u64
+    }
+    fn decode_key(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl KeyCodec for u16 {
+    fn encode_key(self) -> u64 {
+        self as u64
+    }
+    fn decode_key(raw: u64) -> Self {
+        raw as u16
+    }
+}
+
+impl KeyCodec for i64 {
+    fn encode_key(self) -> u64 {
+        // Flip the sign bit: maps i64::MIN..=i64::MAX monotonically onto
+        // 0..=u64::MAX - but i64::MAX maps to u64::MAX which is reserved, so
+        // shift down by one for the top value.
+        let raw = (self as u64) ^ (1u64 << 63);
+        if raw == EMPTY_KEY {
+            raw - 1
+        } else {
+            raw
+        }
+    }
+    fn decode_key(raw: u64) -> Self {
+        (raw ^ (1u64 << 63)) as i64
+    }
+}
+
+impl KeyCodec for i32 {
+    fn encode_key(self) -> u64 {
+        (self as i64 - i32::MIN as i64) as u64
+    }
+    fn decode_key(raw: u64) -> Self {
+        (raw as i64 + i32::MIN as i64) as i32
+    }
+}
+
+impl ValueCodec for u64 {
+    fn encode_value(self) -> u64 {
+        self
+    }
+    fn decode_value(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl ValueCodec for u32 {
+    fn encode_value(self) -> u64 {
+        self as u64
+    }
+    fn decode_value(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl ValueCodec for i64 {
+    fn encode_value(self) -> u64 {
+        self as u64
+    }
+    fn decode_value(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl ValueCodec for f64 {
+    fn encode_value(self) -> u64 {
+        self.to_bits()
+    }
+    fn decode_value(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+impl ValueCodec for () {
+    fn encode_value(self) -> u64 {
+        0
+    }
+    fn decode_value(_: u64) -> Self {}
+}
+
+/// A typed concurrent ordered map backed by any [`ConcurrentMap`]
+/// implementation from this repository (default: the Elim-ABtree).
+pub struct TypedTree<K: KeyCodec, V: ValueCodec, M: ConcurrentMap = ElimABTree> {
+    inner: M,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K: KeyCodec, V: ValueCodec, M: ConcurrentMap + Default> Default for TypedTree<K, V, M> {
+    fn default() -> Self {
+        Self::new(M::default())
+    }
+}
+
+impl<K: KeyCodec, V: ValueCodec, M: ConcurrentMap> TypedTree<K, V, M> {
+    /// Wraps an existing map.
+    pub fn new(inner: M) -> Self {
+        Self {
+            inner,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Access to the underlying untyped map.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Inserts `key -> value` if absent; returns the existing value
+    /// otherwise (matching [`ConcurrentMap::insert`] semantics).
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner
+            .insert(key.encode_key(), value.encode_value())
+            .map(V::decode_value)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, key: K) -> Option<V> {
+        self.inner.delete(key.encode_key()).map(V::decode_value)
+    }
+
+    /// Returns the value associated with `key`.
+    pub fn get(&self, key: K) -> Option<V> {
+        self.inner.get(key.encode_key()).map(V::decode_value)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: K) -> bool {
+        self.inner.contains(key.encode_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OccABTree;
+
+    #[test]
+    fn signed_keys_preserve_order() {
+        let keys = [i64::MIN, -1_000, -1, 0, 1, 1_000, i64::MAX - 1];
+        let encoded: Vec<u64> = keys.iter().map(|k| k.encode_key()).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1], "encoding must be monotone");
+        }
+        for &k in &keys {
+            assert_eq!(i64::decode_key(k.encode_key()), k);
+        }
+    }
+
+    #[test]
+    fn i32_round_trip() {
+        for k in [i32::MIN, -7, 0, 7, i32::MAX] {
+            assert_eq!(i32::decode_key(k.encode_key()), k);
+        }
+        assert!(i32::MIN.encode_key() < 0i32.encode_key());
+        assert!(0i32.encode_key() < i32::MAX.encode_key());
+    }
+
+    #[test]
+    fn typed_tree_over_occ() {
+        let tree: TypedTree<i32, f64, OccABTree> = TypedTree::default();
+        assert_eq!(tree.insert(-3, 1.5), None);
+        assert_eq!(tree.insert(4, 2.25), None);
+        assert_eq!(tree.get(-3), Some(1.5));
+        assert_eq!(tree.get(4), Some(2.25));
+        assert!(tree.contains(-3));
+        assert_eq!(tree.remove(-3), Some(1.5));
+        assert!(!tree.contains(-3));
+    }
+
+    #[test]
+    fn unit_values_work_as_a_set() {
+        let set: TypedTree<u32, (), ElimABTree> = TypedTree::default();
+        assert_eq!(set.insert(9, ()), None);
+        assert!(set.contains(9));
+        assert_eq!(set.insert(9, ()), Some(()));
+        assert_eq!(set.remove(9), Some(()));
+        assert!(!set.contains(9));
+    }
+}

@@ -1,0 +1,415 @@
+//! Insert and delete operations (paper Fig. 4, Fig. 5) plus the
+//! publishing-elimination protocol (`lockOrElim`, Fig. 10).
+//!
+//! The OCC-ABtree and Elim-ABtree share all of this code; the `ELIM` const
+//! parameter selects between the two pre-lock read strategies and decides
+//! whether elimination records are published/consulted.  With `ELIM = false`
+//! the code is exactly the paper's OCC-ABtree: the compiler removes the
+//! elimination branches.
+
+use std::ptr;
+use std::sync::atomic::{fence, Ordering};
+
+use abebr::Guard;
+use absync::{Backoff, RawNodeLock};
+
+use crate::node::{Node, NodeKind};
+use crate::persist::Persist;
+use crate::tree::AbTree;
+use crate::{EMPTY_KEY, MAX_KEYS, MIN_KEYS};
+
+/// Result of [`AbTree::lock_or_elim`].
+pub(crate) enum ElimOutcome {
+    /// The leaf's lock was acquired; the caller must perform its update and
+    /// release the lock.
+    Acquired,
+    /// The operation was eliminated against the leaf's published record; the
+    /// payload is the record's value (`rec.val`).
+    Eliminated(u64),
+}
+
+/// Outcome of one attempt of an update; `Retry` corresponds to the paper's
+/// `goto RETRY`.
+enum Attempt<T> {
+    Done(T),
+    Retry,
+}
+
+impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
+    /// Inserts `key -> value` if `key` is absent.  Returns the pre-existing
+    /// value (leaving the tree unchanged) if `key` was present, `None` if the
+    /// pair was inserted (paper Fig. 4).
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY_KEY, "EMPTY_KEY is reserved");
+        let guard = self.collector.pin();
+        loop {
+            match self.insert_attempt(key, value, &guard) {
+                Attempt::Done(r) => return r,
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present (paper Fig. 5).
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        debug_assert_ne!(key, EMPTY_KEY, "EMPTY_KEY is reserved");
+        let guard = self.collector.pin();
+        loop {
+            match self.delete_attempt(key, &guard) {
+                Attempt::Done(r) => return r,
+                Attempt::Retry => continue,
+            }
+        }
+    }
+
+    /// The paper's `lockOrElim` (Fig. 10): repeatedly read a consistent
+    /// snapshot of the leaf's elimination record; if the record proves a
+    /// same-key operation linearized after this operation began, eliminate;
+    /// otherwise try to take the lock.
+    fn lock_or_elim(&self, leaf: &Node<L>, key: u64, token: &mut L::Token) -> ElimOutcome {
+        // Line 208: the version read here is what condition C1 compares
+        // against `rec.ver`.
+        let start_ver = leaf.ver.load(Ordering::Acquire);
+        let mut backoff = Backoff::new();
+        loop {
+            // Double-collect snapshot of the record (lines 211-215).
+            let (rec_key, rec_val, rec_ver) = loop {
+                let v1 = leaf.ver.load(Ordering::Acquire);
+                let rec = leaf.read_record();
+                fence(Ordering::Acquire);
+                let v2 = leaf.ver.load(Ordering::Relaxed);
+                if v1 % 2 == 0 && v1 == v2 {
+                    break rec;
+                }
+                core::hint::spin_loop();
+            };
+            // Line 217: condition C1 (start_ver <= rec.ver) plus key match.
+            if start_ver <= rec_ver && rec_key == key {
+                return ElimOutcome::Eliminated(rec_val);
+            }
+            // Line 221: cannot eliminate; try to lock.
+            if leaf.lock.try_lock(token) {
+                return ElimOutcome::Acquired;
+            }
+            backoff.wait();
+        }
+    }
+
+    /// One attempt of `insert` (the body of the paper's RETRY loop).
+    fn insert_attempt(&self, key: u64, value: u64, guard: &Guard) -> Attempt<Option<u64>> {
+        let path = self.search(key, ptr::null_mut(), guard);
+        // SAFETY: read during the pinned search.
+        let leaf = unsafe { self.deref(path.n, guard) };
+
+        // Pre-lock read phase.
+        if ELIM {
+            // Single optimistic scan (§4.1): a torn scan is itself evidence
+            // of contention, so fall through to lockOrElim in that case.
+            if let Some(Some(existing)) = self.try_scan_leaf(leaf, key) {
+                return Attempt::Done(Some(existing));
+            }
+        } else {
+            let (found, _ver) = self.search_leaf(leaf, key);
+            if let Some(existing) = found {
+                return Attempt::Done(Some(existing));
+            }
+        }
+
+        // Lock acquisition (possibly eliminating instead).
+        let mut leaf_token = L::Token::default();
+        if ELIM {
+            match self.lock_or_elim(leaf, key, &mut leaf_token) {
+                ElimOutcome::Eliminated(v) => {
+                    self.elim_count.fetch_add(1, Ordering::Relaxed);
+                    return Attempt::Done(Some(v));
+                }
+                ElimOutcome::Acquired => {}
+            }
+        } else {
+            leaf.lock.lock(&mut leaf_token);
+        }
+
+        if leaf.is_marked() {
+            // SAFETY: locked above with this token.
+            unsafe { leaf.lock.unlock(&mut leaf_token) };
+            return Attempt::Retry;
+        }
+
+        // Verify the key is not present now that the leaf is stable.
+        if let Some((_slot, existing)) = leaf.locked_find(key) {
+            // SAFETY: locked above with this token.
+            unsafe { leaf.lock.unlock(&mut leaf_token) };
+            return Attempt::Done(Some(existing));
+        }
+
+        if leaf.len() < MAX_KEYS {
+            // ----- simple insert -----
+            let slot = leaf
+                .locked_empty_slot()
+                .expect("leaf below capacity must have an empty slot");
+            let odd = leaf.begin_write();
+            if ELIM {
+                leaf.publish_record(key, value, odd);
+            }
+            // Durable trees (paper §5): the value is written and flushed
+            // before the key, and the insert becomes durable when the key
+            // reaches persistent memory.
+            leaf.vals[slot].store(value, Ordering::Relaxed);
+            if P::DURABLE {
+                P::persist_value(&leaf.vals[slot]);
+            }
+            leaf.keys[slot].store(key, Ordering::Relaxed);
+            if P::DURABLE {
+                P::persist_value(&leaf.keys[slot]);
+            }
+            leaf.size.fetch_add(1, Ordering::Relaxed);
+            leaf.end_write(); // linearization point (volatile trees)
+            // SAFETY: locked above with this token.
+            unsafe { leaf.lock.unlock(&mut leaf_token) };
+            return Attempt::Done(None);
+        }
+
+        // ----- splitting insert -----
+        // SAFETY: the parent pointer was read during the pinned search.
+        let parent = unsafe { self.deref(path.p, guard) };
+        let mut parent_token = L::Token::default();
+        parent.lock.lock(&mut parent_token);
+        if parent.is_marked() {
+            // SAFETY: both locked above with their tokens.
+            unsafe {
+                parent.lock.unlock(&mut parent_token);
+                leaf.lock.unlock(&mut leaf_token);
+            }
+            return Attempt::Retry;
+        }
+
+        // Gather the leaf's contents plus the new pair, in key order, and
+        // split them evenly between two fresh leaves joined by a tagged node.
+        let mut entries = leaf.locked_entries();
+        entries.push((key, value));
+        entries.sort_unstable_by_key(|e| e.0);
+        debug_assert_eq!(entries.len(), MAX_KEYS + 1);
+        let mid = entries.len() / 2;
+        let split_key = entries[mid].0;
+        let left = Node::into_raw(Node::new_leaf_from(entries[0].0, &entries[..mid]));
+        let right = Node::into_raw(Node::new_leaf_from(split_key, &entries[mid..]));
+        let tagged = Node::into_raw(Node::new_internal_from(
+            NodeKind::TaggedInternal,
+            leaf.search_key,
+            &[split_key],
+            &[left, right],
+        ));
+
+        // Durable trees flush the new nodes before publishing the pointer.
+        self.persist_new_nodes(&[left, right, tagged]);
+        // Linearization point of the splitting insert: the child-pointer
+        // write makes the new subtree (and hence the new key) reachable
+        // (for durable trees, the flush of that pointer).
+        self.link_child(parent, path.n_idx, tagged);
+        leaf.mark();
+        // SAFETY: both locked above with their tokens.
+        unsafe {
+            parent.lock.unlock(&mut parent_token);
+            leaf.lock.unlock(&mut leaf_token);
+        }
+        // SAFETY: the old leaf was just unlinked (marked + replaced) and will
+        // not be unlinked again.
+        unsafe { guard.defer_drop(path.n) };
+
+        self.fix_tagged(tagged, guard);
+        Attempt::Done(None)
+    }
+
+    /// One attempt of `delete` (the body of the paper's RETRY loop).
+    fn delete_attempt(&self, key: u64, guard: &Guard) -> Attempt<Option<u64>> {
+        let path = self.search(key, ptr::null_mut(), guard);
+        // SAFETY: read during the pinned search.
+        let leaf = unsafe { self.deref(path.n, guard) };
+
+        // Pre-lock read phase.
+        if ELIM {
+            if let Some(None) = self.try_scan_leaf(leaf, key) {
+                // Consistent scan, key absent: nothing to delete.
+                return Attempt::Done(None);
+            }
+        } else {
+            let (found, _ver) = self.search_leaf(leaf, key);
+            if found.is_none() {
+                return Attempt::Done(None);
+            }
+        }
+
+        let mut leaf_token = L::Token::default();
+        if ELIM {
+            match self.lock_or_elim(leaf, key, &mut leaf_token) {
+                // An eliminated delete is linearized at a point where the key
+                // is absent, so it returns "not present" (§4).
+                ElimOutcome::Eliminated(_) => {
+                    self.elim_count.fetch_add(1, Ordering::Relaxed);
+                    return Attempt::Done(None);
+                }
+                ElimOutcome::Acquired => {}
+            }
+        } else {
+            leaf.lock.lock(&mut leaf_token);
+        }
+
+        if leaf.is_marked() {
+            // SAFETY: locked above with this token.
+            unsafe { leaf.lock.unlock(&mut leaf_token) };
+            return Attempt::Retry;
+        }
+
+        let deleted = match leaf.locked_find(key) {
+            None => {
+                // Deleted by another thread between the search and the lock.
+                // SAFETY: locked above with this token.
+                unsafe { leaf.lock.unlock(&mut leaf_token) };
+                return Attempt::Done(None);
+            }
+            Some((slot, existing)) => {
+                let odd = leaf.begin_write();
+                if ELIM {
+                    leaf.publish_record(key, existing, odd);
+                }
+                // Durable trees (paper §5): the delete becomes durable when
+                // the emptied key slot reaches persistent memory.
+                leaf.keys[slot].store(EMPTY_KEY, Ordering::Relaxed);
+                if P::DURABLE {
+                    P::persist_value(&leaf.keys[slot]);
+                }
+                leaf.size.fetch_sub(1, Ordering::Relaxed);
+                leaf.end_write(); // linearization point (volatile trees)
+                existing
+            }
+        };
+
+        let underfull = leaf.len() < MIN_KEYS;
+        // SAFETY: locked above with this token.
+        unsafe { leaf.lock.unlock(&mut leaf_token) };
+        if underfull {
+            self.fix_underfull(path.n, guard);
+        }
+        Attempt::Done(Some(deleted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ConcurrentMap, ElimABTree, OccABTree, MAX_KEYS};
+
+    #[test]
+    fn insert_get_delete_round_trip_occ() {
+        let t: OccABTree = OccABTree::new();
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.insert(5, 51), Some(50), "duplicate insert returns old");
+        assert_eq!(t.get(5), Some(50), "duplicate insert does not overwrite");
+        assert_eq!(t.delete(5), Some(50));
+        assert_eq!(t.delete(5), None);
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn insert_get_delete_round_trip_elim() {
+        let t: ElimABTree = ElimABTree::new();
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.get(5), Some(50));
+        assert_eq!(t.insert(5, 51), Some(50));
+        assert_eq!(t.delete(5), Some(50));
+        assert_eq!(t.delete(5), None);
+    }
+
+    #[test]
+    fn fill_one_leaf_then_split() {
+        let t: OccABTree = OccABTree::new();
+        // MAX_KEYS inserts fit in the root leaf; one more forces a split.
+        for k in 0..=(MAX_KEYS as u64) {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        for k in 0..=(MAX_KEYS as u64) {
+            assert_eq!(t.get(k), Some(k * 10), "missing key {k} after split");
+        }
+        assert_eq!(t.get(MAX_KEYS as u64 + 1), None);
+    }
+
+    #[test]
+    fn many_sequential_inserts_and_deletes() {
+        let t: OccABTree = OccABTree::new();
+        const N: u64 = 3_000;
+        for k in 0..N {
+            assert_eq!(t.insert(k, k), None, "insert {k}");
+        }
+        for k in 0..N {
+            assert_eq!(t.get(k), Some(k), "get {k}");
+        }
+        for k in (0..N).step_by(2) {
+            assert_eq!(t.delete(k), Some(k), "delete {k}");
+        }
+        for k in 0..N {
+            let expected = if k % 2 == 0 { None } else { Some(k) };
+            assert_eq!(t.get(k), expected, "get-after-delete {k}");
+        }
+        // Delete the rest so the tree shrinks back down.
+        for k in (1..N).step_by(2) {
+            assert_eq!(t.delete(k), Some(k));
+        }
+        for k in 0..N {
+            assert_eq!(t.get(k), None);
+        }
+    }
+
+    #[test]
+    fn many_sequential_inserts_and_deletes_elim() {
+        let t: ElimABTree = ElimABTree::new();
+        const N: u64 = 3_000;
+        for k in 0..N {
+            assert_eq!(t.insert(k, k + 1), None);
+        }
+        for k in (0..N).rev() {
+            assert_eq!(t.delete(k), Some(k + 1));
+        }
+        for k in 0..N {
+            assert_eq!(t.get(k), None);
+        }
+    }
+
+    #[test]
+    fn reverse_and_shuffled_insertion_orders() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xab);
+        let mut keys: Vec<u64> = (0..2_000u64).collect();
+        keys.shuffle(&mut rng);
+
+        let t: ElimABTree = ElimABTree::new();
+        for &k in &keys {
+            assert_eq!(t.insert(k, !k), None);
+        }
+        for k in 0..2_000u64 {
+            assert_eq!(t.get(k), Some(!k));
+        }
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            assert_eq!(t.delete(k), Some(!k));
+        }
+        assert_eq!(t.get(123), None);
+    }
+
+    #[test]
+    fn values_are_arbitrary_u64() {
+        let t: OccABTree = OccABTree::new();
+        assert_eq!(t.insert(1, u64::MAX), None);
+        assert_eq!(t.insert(2, 0), None);
+        assert_eq!(t.get(1), Some(u64::MAX));
+        assert_eq!(t.get(2), Some(0));
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let t: Box<dyn ConcurrentMap> = Box::new(ElimABTree::<absync::McsLock>::new());
+        assert_eq!(t.insert(9, 90), None);
+        assert!(t.contains(9));
+        assert_eq!(t.delete(9), Some(90));
+    }
+}

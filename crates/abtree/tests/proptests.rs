@@ -1,0 +1,128 @@
+//! Property-based tests: the trees must behave exactly like a sequential
+//! ordered map for any sequence of operations, and their structural
+//! invariants must hold after any such sequence.
+
+use std::collections::BTreeMap;
+
+use abtree::{ElimABTree, OccABTree};
+use proptest::prelude::*;
+
+/// An operation in a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..key_space).prop_map(Op::Delete),
+        (0..key_space).prop_map(Op::Get),
+    ]
+}
+
+/// Applies `ops` to both the tree under test and a `BTreeMap` oracle,
+/// asserting identical observable behaviour, then checks invariants.
+macro_rules! oracle_test {
+    ($tree:expr, $ops:expr) => {{
+        let tree = $tree;
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in $ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let expected = match oracle.get(&k) {
+                        Some(&old) => Some(old),
+                        None => {
+                            oracle.insert(k, v);
+                            None
+                        }
+                    };
+                    prop_assert_eq!(tree.insert(k, v), expected, "insert({}, {})", k, v);
+                }
+                Op::Delete(k) => {
+                    let expected = oracle.remove(&k);
+                    prop_assert_eq!(tree.delete(k), expected, "delete({})", k);
+                }
+                Op::Get(k) => {
+                    let expected = oracle.get(&k).copied();
+                    prop_assert_eq!(tree.get(k), expected, "get({})", k);
+                }
+            }
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "invariants violated");
+        let collected = tree.collect();
+        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+        prop_assert_eq!(collected, expected, "final contents differ from oracle");
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Small key space: lots of duplicate inserts/deletes of the same key,
+    /// exercising the "already present"/"already absent" paths and the
+    /// elimination record logic.
+    #[test]
+    fn occ_matches_btreemap_small_keyspace(ops in proptest::collection::vec(op_strategy(32), 1..600)) {
+        let tree: OccABTree = OccABTree::new();
+        oracle_test!(&tree, ops.iter());
+    }
+
+    #[test]
+    fn elim_matches_btreemap_small_keyspace(ops in proptest::collection::vec(op_strategy(32), 1..600)) {
+        let tree: ElimABTree = ElimABTree::new();
+        oracle_test!(&tree, ops.iter());
+    }
+
+    /// Larger key space: the tree grows several levels, exercising splitting
+    /// inserts, fixTagged and fixUnderfull along random shapes.
+    #[test]
+    fn occ_matches_btreemap_large_keyspace(ops in proptest::collection::vec(op_strategy(10_000), 1..1_000)) {
+        let tree: OccABTree = OccABTree::new();
+        oracle_test!(&tree, ops.iter());
+    }
+
+    #[test]
+    fn elim_matches_btreemap_large_keyspace(ops in proptest::collection::vec(op_strategy(10_000), 1..1_000)) {
+        let tree: ElimABTree = ElimABTree::new();
+        oracle_test!(&tree, ops.iter());
+    }
+
+    /// Insert-then-delete-everything must always return to an empty tree with
+    /// a single root leaf.
+    #[test]
+    fn insert_all_delete_all_returns_to_empty(keys in proptest::collection::btree_set(0u64..100_000, 1..800)) {
+        let tree: ElimABTree = ElimABTree::new();
+        for &k in &keys {
+            prop_assert_eq!(tree.insert(k, k ^ 0xdead), None);
+        }
+        prop_assert_eq!(tree.len(), keys.len());
+        prop_assert!(tree.check_invariants().is_ok());
+        for &k in &keys {
+            prop_assert_eq!(tree.delete(k), Some(k ^ 0xdead));
+        }
+        prop_assert!(tree.is_empty());
+        prop_assert!(tree.check_invariants().is_ok());
+        let stats = tree.stats();
+        prop_assert_eq!(stats.height, 1);
+        prop_assert_eq!(stats.leaves, 1);
+    }
+
+    /// The key-sum validation used by the benchmark harness agrees with the
+    /// actual contents for arbitrary workloads.
+    #[test]
+    fn key_sum_matches_contents(ops in proptest::collection::vec(op_strategy(4_000), 1..800)) {
+        let tree: OccABTree = OccABTree::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => { tree.insert(k, v); }
+                Op::Delete(k) => { tree.delete(k); }
+                Op::Get(k) => { tree.get(k); }
+            }
+        }
+        let expected: u128 = tree.collect().iter().map(|&(k, _)| k as u128).sum();
+        prop_assert_eq!(tree.key_sum(), expected);
+    }
+}

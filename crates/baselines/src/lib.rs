@@ -1,0 +1,78 @@
+//! Baseline concurrent dictionaries used in the paper's evaluation (§2, §6).
+//!
+//! The paper compares the OCC-ABtree / Elim-ABtree against a large set of
+//! state-of-the-art structures.  This crate reproduces one representative of
+//! each *category* that the paper's figures rely on (see `DESIGN.md` §4 for
+//! the full substitution table):
+//!
+//! * [`catree::CaTree`] — the contention-adapting search tree (Sagonas &
+//!   Winblad), the paper's fastest competitor on uniform update-heavy
+//!   workloads: an external binary tree of lock-protected sequential AVL
+//!   trees that splits hot base nodes.
+//! * [`extbst::LockExtBst`] — a lock-based external (leaf-oriented) binary
+//!   search tree in the style of DGT15 / the lock-based variants of Ellen et
+//!   al.'s tree: the "distribution-naïve BST" category (BCCO10, NM14,
+//!   DGT15).
+//! * [`skiplist::LazySkipList`] — a lock-based lazy skiplist, standing in for
+//!   the list-shaped baselines (SplayList).
+//! * [`fptree::FpTree`] — a simplified FPTree-style persistent B-tree
+//!   (fingerprinted persistent leaves, volatile inner structure protected by
+//!   a reader-writer lock), the comparison point for the persistence
+//!   experiments (Figure 17).
+//! * [`cowabtree::CowABTree`] — a copy-on-update (a,b)-tree standing in for
+//!   the LF-ABtree: every insert/delete replaces the affected leaf with a
+//!   fresh copy, reproducing the allocation-per-update cost that dominates
+//!   the LF-ABtree's behaviour in update-heavy workloads.
+//!
+//! All baselines implement [`abtree::ConcurrentMap`], so the benchmark
+//! harness drives them exactly like the paper's trees, including the key-sum
+//! validation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod avl;
+pub mod catree;
+pub mod cowabtree;
+pub mod extbst;
+pub mod fptree;
+pub mod skiplist;
+
+pub use catree::CaTree;
+pub use cowabtree::CowABTree;
+pub use extbst::LockExtBst;
+pub use fptree::FpTree;
+pub use skiplist::LazySkipList;
+
+#[cfg(test)]
+mod tests {
+    use abtree::ConcurrentMap;
+
+    fn smoke<M: ConcurrentMap>(map: M) {
+        assert_eq!(map.insert(5, 50), None);
+        assert_eq!(map.insert(5, 51), Some(50));
+        assert_eq!(map.get(5), Some(50));
+        assert_eq!(map.delete(5), Some(50));
+        assert_eq!(map.get(5), None);
+        assert_eq!(map.delete(5), None);
+        for k in 0..500u64 {
+            assert_eq!(map.insert(k, k * 2), None);
+        }
+        for k in 0..500u64 {
+            assert_eq!(map.get(k), Some(k * 2));
+        }
+        for k in 0..500u64 {
+            assert_eq!(map.delete(k), Some(k * 2));
+        }
+        assert_eq!(map.get(123), None);
+    }
+
+    #[test]
+    fn all_baselines_satisfy_map_semantics() {
+        smoke(crate::CaTree::new());
+        smoke(crate::LockExtBst::new());
+        smoke(crate::LazySkipList::new());
+        smoke(crate::FpTree::new());
+        smoke(crate::CowABTree::new());
+    }
+}

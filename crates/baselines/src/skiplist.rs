@@ -1,0 +1,414 @@
+//! Lock-based "lazy" concurrent skiplist (Herlihy–Lev–Luchangco–Shavit).
+//!
+//! Stands in for the list-shaped baselines of the paper's evaluation (the
+//! SplayList is a skiplist that additionally adapts node heights to the
+//! access distribution; see `DESIGN.md` §4 for the substitution note).
+//! Searches are wait-free; inserts and removes lock the predecessor towers,
+//! validate, and link/unlink.  Removed nodes are retired through epoch-based
+//! reclamation (unlike the original SplayList implementation, which never
+//! frees memory — a point the paper remarks on in §6.2).
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use abebr::Collector;
+use abtree::ConcurrentMap;
+use parking_lot::Mutex;
+use rand::Rng;
+
+/// Maximum tower height.
+const MAX_LEVEL: usize = 20;
+
+struct SkipNode {
+    key: u64,
+    value: u64,
+    next: [AtomicPtr<SkipNode>; MAX_LEVEL],
+    /// Height of this node's tower (levels `0..top_level` are linked).
+    top_level: usize,
+    lock: Mutex<()>,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+}
+
+impl SkipNode {
+    fn new(key: u64, value: u64, top_level: usize) -> *mut Self {
+        Box::into_raw(Box::new(Self {
+            key,
+            value,
+            next: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            top_level,
+            lock: Mutex::new(()),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(false),
+        }))
+    }
+}
+
+/// A lock-based lazy skiplist.
+pub struct LazySkipList {
+    /// Head sentinel (conceptually key = -∞), full height.
+    head: *mut SkipNode,
+    /// Tail sentinel (key = `u64::MAX`, reserved — user keys are smaller).
+    tail: *mut SkipNode,
+    collector: Collector,
+}
+
+// SAFETY: shared state behind atomics/locks; reclamation via EBR.
+unsafe impl Send for LazySkipList {}
+unsafe impl Sync for LazySkipList {}
+
+impl Default for LazySkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LazySkipList {
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        let tail = SkipNode::new(u64::MAX, 0, MAX_LEVEL);
+        let head = SkipNode::new(0, 0, MAX_LEVEL);
+        // SAFETY: freshly allocated, exclusively owned here.
+        unsafe {
+            (*tail).fully_linked.store(true, Ordering::Release);
+            for level in 0..MAX_LEVEL {
+                (*head).next[level].store(tail, Ordering::Release);
+            }
+            (*head).fully_linked.store(true, Ordering::Release);
+        }
+        Self {
+            head,
+            tail,
+            collector: Collector::new(),
+        }
+    }
+
+    fn random_level<R: Rng>(rng: &mut R) -> usize {
+        // Geometric distribution with p = 1/2, capped at MAX_LEVEL.
+        let mut level = 1;
+        while level < MAX_LEVEL && rng.gen_bool(0.5) {
+            level += 1;
+        }
+        level
+    }
+
+    /// Collects every key/value pair by walking level 0 (quiescent only).
+    pub fn collect(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        // SAFETY: quiescent access; head/tail are never reclaimed.
+        let mut cur = unsafe { &*self.head }.next[0].load(Ordering::Acquire);
+        while cur != self.tail {
+            // SAFETY: quiescent access.
+            let node = unsafe { &*cur };
+            if !node.marked.load(Ordering::Acquire) {
+                out.push((node.key, node.value));
+            }
+            cur = node.next[0].load(Ordering::Acquire);
+        }
+        out
+    }
+
+    /// Sum of the stored keys (quiescent only), for harness validation.
+    pub fn key_sum(&self) -> u128 {
+        self.collect().iter().map(|&(k, _)| k as u128).sum()
+    }
+
+    /// Finds the predecessors and successors of `key` at every level.
+    /// Returns the level at which a node with `key` was found, or `None`.
+    fn find(
+        &self,
+        key: u64,
+        preds: &mut [*mut SkipNode; MAX_LEVEL],
+        succs: &mut [*mut SkipNode; MAX_LEVEL],
+    ) -> Option<usize> {
+        let mut found = None;
+        let mut pred = self.head;
+        for level in (0..MAX_LEVEL).rev() {
+            // SAFETY: nodes reachable while the caller is pinned; head/tail
+            // are never reclaimed.
+            let mut curr = unsafe { &*pred }.next[level].load(Ordering::Acquire);
+            loop {
+                // SAFETY: as above.
+                let curr_ref = unsafe { &*curr };
+                if curr != self.tail && curr_ref.key < key {
+                    pred = curr;
+                    curr = curr_ref.next[level].load(Ordering::Acquire);
+                } else {
+                    break;
+                }
+            }
+            // SAFETY: as above.
+            if found.is_none() && curr != self.tail && unsafe { &*curr }.key == key {
+                found = Some(level);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        found
+    }
+}
+
+impl ConcurrentMap for LazySkipList {
+    fn get(&self, key: u64) -> Option<u64> {
+        let _guard = self.collector.pin();
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        match self.find(key, &mut preds, &mut succs) {
+            Some(level) => {
+                // SAFETY: protected by the pinned epoch.
+                let node = unsafe { &*succs[level] };
+                if node.fully_linked.load(Ordering::Acquire) && !node.marked.load(Ordering::Acquire)
+                {
+                    Some(node.value)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(key, u64::MAX);
+        let _guard = self.collector.pin();
+        let mut rng = rand::thread_rng();
+        let top_level = Self::random_level(&mut rng);
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        loop {
+            if let Some(level) = self.find(key, &mut preds, &mut succs) {
+                // SAFETY: protected by the pinned epoch.
+                let node = unsafe { &*succs[level] };
+                if !node.marked.load(Ordering::Acquire) {
+                    // Wait for a concurrent inserter to finish linking, then
+                    // report the key as already present.
+                    while !node.fully_linked.load(Ordering::Acquire) {
+                        core::hint::spin_loop();
+                    }
+                    return Some(node.value);
+                }
+                // The node is being removed; retry.
+                core::hint::spin_loop();
+                continue;
+            }
+
+            // Lock the predecessors bottom-up, skipping duplicates.
+            let mut guards = Vec::with_capacity(top_level);
+            let mut valid = true;
+            let mut last_locked: *mut SkipNode = ptr::null_mut();
+            for level in 0..top_level {
+                let pred = preds[level];
+                let succ = succs[level];
+                if pred != last_locked {
+                    // SAFETY: protected by the pinned epoch.
+                    guards.push(unsafe { &*pred }.lock.lock());
+                    last_locked = pred;
+                }
+                // SAFETY: as above.
+                let pred_ref = unsafe { &*pred };
+                let succ_ref = unsafe { &*succ };
+                if pred_ref.marked.load(Ordering::Acquire)
+                    || succ_ref.marked.load(Ordering::Acquire)
+                    || pred_ref.next[level].load(Ordering::Acquire) != succ
+                {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                drop(guards);
+                continue;
+            }
+
+            let node = SkipNode::new(key, value, top_level);
+            // SAFETY: freshly allocated node; preds are locked and validated.
+            unsafe {
+                for level in 0..top_level {
+                    (*node).next[level].store(succs[level], Ordering::Release);
+                }
+                for level in 0..top_level {
+                    (*preds[level]).next[level].store(node, Ordering::Release);
+                }
+                (*node).fully_linked.store(true, Ordering::Release);
+            }
+            return None;
+        }
+    }
+
+    fn delete(&self, key: u64) -> Option<u64> {
+        let guard = self.collector.pin();
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        let mut victim: *mut SkipNode = ptr::null_mut();
+        let mut is_marked = false;
+        let mut top_level = 0;
+        loop {
+            let found = self.find(key, &mut preds, &mut succs);
+            if !is_marked {
+                match found {
+                    None => return None,
+                    Some(level) => {
+                        victim = succs[level];
+                        // SAFETY: protected by the pinned epoch.
+                        let v = unsafe { &*victim };
+                        if !(v.fully_linked.load(Ordering::Acquire)
+                            && v.top_level - 1 == level
+                            && !v.marked.load(Ordering::Acquire))
+                        {
+                            return None;
+                        }
+                        top_level = v.top_level;
+                    }
+                }
+            }
+            // SAFETY: victim is protected by the pinned epoch.
+            let v = unsafe { &*victim };
+            let victim_guard = if !is_marked {
+                let g = v.lock.lock();
+                if v.marked.load(Ordering::Acquire) {
+                    return None;
+                }
+                v.marked.store(true, Ordering::Release);
+                is_marked = true;
+                Some(g)
+            } else {
+                Some(v.lock.lock())
+            };
+
+            // Lock predecessors and validate.
+            let mut guards = Vec::with_capacity(top_level);
+            let mut valid = true;
+            let mut last_locked: *mut SkipNode = ptr::null_mut();
+            for level in 0..top_level {
+                let pred = preds[level];
+                if pred != last_locked {
+                    // SAFETY: protected by the pinned epoch.
+                    guards.push(unsafe { &*pred }.lock.lock());
+                    last_locked = pred;
+                }
+                // SAFETY: as above.
+                let pred_ref = unsafe { &*pred };
+                if pred_ref.marked.load(Ordering::Acquire)
+                    || pred_ref.next[level].load(Ordering::Acquire) != victim
+                {
+                    valid = false;
+                    break;
+                }
+            }
+            if !valid {
+                drop(guards);
+                drop(victim_guard);
+                continue;
+            }
+            // Unlink top-down.
+            // SAFETY: preds are locked and validated; victim is marked.
+            unsafe {
+                for level in (0..top_level).rev() {
+                    (*preds[level]).next[level]
+                        .store((*victim).next[level].load(Ordering::Acquire), Ordering::Release);
+                }
+            }
+            let value = v.value;
+            drop(guards);
+            drop(victim_guard);
+            // SAFETY: the victim has been unlinked from every level.
+            unsafe { guard.defer_drop(victim) };
+            return Some(value);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "skiplist-lazy"
+    }
+}
+
+impl Drop for LazySkipList {
+    fn drop(&mut self) {
+        // Walk level 0 and free every node, including both sentinels.
+        let mut cur = self.head;
+        loop {
+            let at_tail = cur == self.tail;
+            // SAFETY: exclusive access during drop; each node freed once.
+            let node = unsafe { Box::from_raw(cur) };
+            if at_tail {
+                break;
+            }
+            cur = node.next[0].load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_oracle() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = LazySkipList::new();
+        let mut oracle = std::collections::BTreeMap::new();
+        for _ in 0..20_000 {
+            let k = rng.gen_range(0..2_000u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let expected = oracle.get(&k).copied();
+                    if expected.is_none() {
+                        oracle.insert(k, k + 1);
+                    }
+                    assert_eq!(t.insert(k, k + 1), expected);
+                }
+                1 => assert_eq!(t.delete(k), oracle.remove(&k)),
+                _ => assert_eq!(t.get(k), oracle.get(&k).copied()),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_key_sum_validation() {
+        let t = Arc::new(LazySkipList::new());
+        let mut handles = Vec::new();
+        for tid in 0..6u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(tid);
+                let mut net: i128 = 0;
+                for _ in 0..15_000 {
+                    let k = rng.gen_range(0..1_000u64);
+                    if rng.gen_bool(0.5) {
+                        if t.insert(k, k).is_none() {
+                            net += k as i128;
+                        }
+                    } else if t.delete(k).is_some() {
+                        net -= k as i128;
+                    }
+                }
+                net
+            }));
+        }
+        let mut net = 0i128;
+        for h in handles {
+            net += h.join().unwrap();
+        }
+        // Sum the remaining keys through the map interface.
+        let mut sum = 0i128;
+        for k in 0..1_000u64 {
+            if t.contains(k) {
+                sum += k as i128;
+            }
+        }
+        assert_eq!(sum, net);
+    }
+
+    #[test]
+    fn towers_spread_across_levels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut max_seen = 0;
+        for _ in 0..10_000 {
+            max_seen = max_seen.max(LazySkipList::random_level(&mut rng));
+        }
+        assert!(max_seen > 5, "tower heights should vary, max={max_seen}");
+        assert!(max_seen <= MAX_LEVEL);
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation (paper §4/§6): publishing elimination on vs off (Elim-ABtree vs
+//! OCC-ABtree) as the access skew increases on an update-only workload.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use abtree::{ElimABTree, OccABTree};
+use bench_suite::{configure, prefill_map, run_fixed_ops, OPS_PER_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workload::{KeyDistribution, OperationMix};
+
+fn bench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let key_range = 10_000u64;
+    let mix = OperationMix::from_update_percent(100);
+    let mut group = c.benchmark_group("ablation_elimination");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+
+    for &zipf in &[0.0, 0.75, 1.0, 1.25] {
+        let dist = KeyDistribution::from_zipf_parameter(key_range, zipf);
+
+        let elim: Arc<ElimABTree> = Arc::new(ElimABTree::new());
+        prefill_map(&*elim, key_range);
+        group.bench_function(BenchmarkId::new("elim-abtree", format!("zipf{zipf}")), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_fixed_ops(&elim, &dist, mix, threads, OPS_PER_BATCH);
+                }
+                total
+            })
+        });
+
+        let occ: Arc<OccABTree> = Arc::new(OccABTree::new());
+        prefill_map(&*occ, key_range);
+        group.bench_function(BenchmarkId::new("occ-abtree", format!("zipf{zipf}")), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_fixed_ops(&occ, &dist, mix, threads, OPS_PER_BATCH);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

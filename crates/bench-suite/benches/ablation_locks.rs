@@ -1,0 +1,49 @@
+//! Ablation (paper §7): MCS node locks vs test-and-test-and-set node locks in
+//! the OCC-ABtree, under a contended update-only workload.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use abtree::AbTree;
+use absync::{McsLock, TatasLock};
+use bench_suite::{configure, prefill_map, run_fixed_ops, OPS_PER_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workload::{KeyDistribution, OperationMix};
+
+fn bench(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let key_range = 10_000u64;
+    let mut group = c.benchmark_group("ablation_locks");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    let dist = KeyDistribution::zipfian(key_range, 1.0);
+    let mix = OperationMix::from_update_percent(100);
+
+    let mcs: Arc<AbTree<false, McsLock>> = Arc::new(AbTree::new());
+    prefill_map(&*mcs, key_range);
+    group.bench_function(BenchmarkId::new("occ-abtree/mcs", threads), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_fixed_ops(&mcs, &dist, mix, threads, OPS_PER_BATCH);
+            }
+            total
+        })
+    });
+
+    let tatas: Arc<AbTree<false, TatasLock>> = Arc::new(AbTree::new());
+    prefill_map(&*tatas, key_range);
+    group.bench_function(BenchmarkId::new("occ-abtree/tatas", threads), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_fixed_ops(&tatas, &dist, mix, threads, OPS_PER_BATCH);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! fig13: SetBench microbenchmark with 100,000 keys (update-heavy row shown;
+//! the full update-rate grid is produced by the `fig12_15` driver binary).
+
+use bench_suite::{bench_microbench_figure, bench_structures};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let structures = bench_structures();
+    bench_microbench_figure(c, "fig13_u100", 100_000, 100, &structures);
+    bench_microbench_figure(c, "fig13_u5", 100_000, 5, &structures);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

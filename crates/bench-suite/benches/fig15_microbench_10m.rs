@@ -1,0 +1,14 @@
+//! fig15: SetBench microbenchmark with 10M keys.  The prefill for 10M keys is
+//! expensive, so only the headline structures are benched here; the full
+//! sweep is produced by `cargo run -p setbench --release --bin fig12_15 -- 10000000`.
+
+use bench_suite::bench_microbench_figure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let structures = vec!["elim-abtree", "catree"];
+    bench_microbench_figure(c, "fig15_u100", 10_000_000, 100, &structures);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! fig16: YCSB Workload A (50% reads / 50% row updates through the index,
+//! request Zipf 0.5).  The paper uses 100M records; the bench loads 1M so the
+//! suite stays fast — run the `fig16_ycsb` driver binary for larger loads.
+
+use std::time::Duration;
+
+use bench_suite::{bench_structures, bench_threads, configure, OPS_PER_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setbench::{YcsbConfig, YcsbInstance};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_ycsb_a");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    for structure in bench_structures() {
+        for &threads in &bench_threads() {
+            let instance = YcsbInstance::new(YcsbConfig {
+                structure: structure.to_string(),
+                records: 1_000_000,
+                zipf: 0.5,
+                threads,
+                duration: Duration::from_millis(0),
+                seed: 99,
+            });
+            group.bench_function(BenchmarkId::new(structure, threads), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += instance.run_ops(OPS_PER_BATCH);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

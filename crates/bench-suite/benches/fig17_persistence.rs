@@ -1,0 +1,47 @@
+//! fig17: persistent trees (p-OCC-ABtree, p-Elim-ABtree, FPTree-like) with 1M
+//! keys and 50% updates, uniform and Zipf(1) access, real flush instructions.
+
+use bench_suite::{bench_threads, configure, OPS_PER_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setbench::{MicrobenchConfig, MicrobenchInstance};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    abpmem::set_mode(abpmem::PersistMode::Real);
+    let mut group = c.benchmark_group("fig17_persistence");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    for &zipf in &[0.0, 1.0] {
+        for structure in setbench::PERSISTENT_STRUCTURES {
+            for &threads in &bench_threads() {
+                let instance = MicrobenchInstance::new(MicrobenchConfig {
+                    structure: structure.to_string(),
+                    key_range: 1_000_000,
+                    update_percent: 50,
+                    zipf,
+                    threads,
+                    duration: Duration::from_millis(0),
+                    seed: 5,
+                });
+                let label = format!(
+                    "{structure}/{}",
+                    if zipf == 0.0 { "uniform" } else { "zipf1" }
+                );
+                group.bench_function(BenchmarkId::new(label, threads), |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total += instance.run_ops(OPS_PER_BATCH);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+    abpmem::set_mode(abpmem::PersistMode::CountOnly);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

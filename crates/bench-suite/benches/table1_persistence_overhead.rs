@@ -1,0 +1,60 @@
+//! table1: throughput change upon enabling persistence — volatile OCC/Elim
+//! vs durable p-OCC/p-Elim at the maximum thread count, 1M keys, update rates
+//! {100, 50, 10}%, uniform and Zipf(1).  Criterion reports the throughput of
+//! each cell; the relative overhead table itself is printed by the
+//! `table1_overhead` driver binary.
+
+use bench_suite::{configure, OPS_PER_BATCH};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setbench::{default_thread_counts, MicrobenchConfig, MicrobenchInstance};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let threads = *default_thread_counts().last().unwrap();
+    let mut group = c.benchmark_group("table1_persistence_overhead");
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    for &zipf in &[0.0, 1.0] {
+        for &update_percent in &[100u32, 50, 10] {
+            for (structure, durable) in [
+                ("occ-abtree", false),
+                ("p-occ-abtree", true),
+                ("elim-abtree", false),
+                ("p-elim-abtree", true),
+            ] {
+                abpmem::set_mode(if durable {
+                    abpmem::PersistMode::Real
+                } else {
+                    abpmem::PersistMode::NoOp
+                });
+                let instance = MicrobenchInstance::new(MicrobenchConfig {
+                    structure: structure.to_string(),
+                    key_range: 1_000_000,
+                    update_percent,
+                    zipf,
+                    threads,
+                    duration: Duration::from_millis(0),
+                    seed: 11,
+                });
+                let label = format!(
+                    "{structure}/u{update_percent}/{}",
+                    if zipf == 0.0 { "uniform" } else { "zipf1" }
+                );
+                group.bench_function(BenchmarkId::new(label, threads), |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total += instance.run_ops(OPS_PER_BATCH);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+    abpmem::set_mode(abpmem::PersistMode::CountOnly);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

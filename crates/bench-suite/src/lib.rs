@@ -1,0 +1,149 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Every figure and table of the paper's evaluation has a corresponding bench
+//! target in `benches/` (see `DESIGN.md` §5 for the experiment index).  The
+//! benches measure the wall-clock time to complete a fixed batch of
+//! operations across a configured thread count, which Criterion reports as a
+//! throughput (elements = operations per second); the full-duration sweeps
+//! with the paper's exact methodology live in the `setbench` driver binaries.
+//!
+//! Grids are kept small by default so `cargo bench` completes in minutes; set
+//! `SETBENCH_BENCH_FULL=1` to sweep every structure and thread count.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use abtree::ConcurrentMap;
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rand::prelude::*;
+use setbench::{default_thread_counts, MicrobenchConfig, MicrobenchInstance};
+use workload::{KeyDistribution, Operation, OperationMix};
+
+/// Operations per measurement batch.
+pub const OPS_PER_BATCH: u64 = 50_000;
+
+/// Whether the full grid was requested via `SETBENCH_BENCH_FULL=1`.
+pub fn full_grid() -> bool {
+    std::env::var("SETBENCH_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Structures benched by default (the paper's trees plus their closest
+/// competitor); the full grid covers every registered structure.
+pub fn bench_structures() -> Vec<&'static str> {
+    if full_grid() {
+        setbench::VOLATILE_STRUCTURES.to_vec()
+    } else {
+        vec!["elim-abtree", "occ-abtree", "catree"]
+    }
+}
+
+/// Thread counts benched by default: single-threaded and the machine maximum.
+pub fn bench_threads() -> Vec<usize> {
+    if full_grid() {
+        default_thread_counts()
+    } else {
+        let max = *default_thread_counts().last().unwrap();
+        vec![max]
+    }
+}
+
+/// Standard Criterion group configuration: short warm-up / measurement so the
+/// whole suite finishes quickly.
+pub fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+}
+
+/// Registers one microbenchmark figure: `key_range` keys, the given update
+/// rate, uniform and Zipf(1) access, over [`bench_structures`] and
+/// [`bench_threads`].
+pub fn bench_microbench_figure(
+    c: &mut Criterion,
+    figure: &str,
+    key_range: u64,
+    update_percent: u32,
+    structures: &[&str],
+) {
+    let mut group = c.benchmark_group(figure);
+    configure(&mut group);
+    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    for &zipf in &[0.0, 1.0] {
+        for &structure in structures {
+            for &threads in &bench_threads() {
+                let id = BenchmarkId::new(
+                    format!("{structure}/{}", if zipf == 0.0 { "uniform" } else { "zipf1" }),
+                    threads,
+                );
+                let instance = MicrobenchInstance::new(MicrobenchConfig {
+                    structure: structure.to_string(),
+                    key_range,
+                    update_percent,
+                    zipf,
+                    threads,
+                    duration: Duration::from_millis(0),
+                    seed: 42,
+                });
+                group.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total += instance.run_ops(OPS_PER_BATCH);
+                        }
+                        total
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Runs `total_ops` operations over `map` from `threads` threads with the
+/// given distribution/mix; returns the elapsed time.  Used by the ablation
+/// benches, which construct tree variants not exposed through the registry.
+pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
+    map: &Arc<M>,
+    dist: &KeyDistribution,
+    mix: OperationMix,
+    threads: usize,
+    total_ops: u64,
+) -> Duration {
+    let per_thread = total_ops / threads.max(1) as u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let map = Arc::clone(map);
+            let dist = dist.clone();
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA11CE ^ t as u64);
+                for _ in 0..per_thread {
+                    let key = dist.sample(&mut rng);
+                    match mix.sample(&mut rng) {
+                        Operation::Insert => {
+                            std::hint::black_box(map.insert(key, key));
+                        }
+                        Operation::Delete => {
+                            std::hint::black_box(map.delete(key));
+                        }
+                        Operation::Find => {
+                            std::hint::black_box(map.get(key));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Prefills `map` to half of `key_range`.
+pub fn prefill_map<M: ConcurrentMap>(map: &M, key_range: u64) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut inserted = 0;
+    while inserted < key_range / 2 {
+        if map.insert(rng.gen_range(0..key_range), 0).is_none() {
+            inserted += 1;
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! p-OCC-ABtree and p-Elim-ABtree: durably linearizable persistent versions
+//! of the paper's trees (§5).
+//!
+//! The persistent trees are the volatile trees plus a small set of changes:
+//!
+//! * a **simple insert** flushes the value and then the key; it becomes
+//!   durable (and, if interrupted by a crash, is linearized at the crash)
+//!   when the key reaches persistent memory;
+//! * a **successful delete** flushes the emptied key slot;
+//! * **structural updates** (splitting inserts, `fixTagged`, `fixUnderfull`)
+//!   flush the freshly created nodes before publishing the single
+//!   child-pointer write, and publish that pointer with the
+//!   **link-and-persist** technique (write marked → flush → unmark), so no
+//!   operation ever depends on data that might not survive a crash;
+//! * only keys, values and child pointers are persisted; `size`, the leaf
+//!   versions, the lock words, the marked bits and the elimination records
+//!   are volatile and are re-initialized by the [`recovery`] procedure, which
+//!   simply walks the tree from the entry node.
+//!
+//! The implementation reuses the verified volatile engine from the [`abtree`]
+//! crate, instantiated with the [`DurablePersist`] policy, whose flush/fence
+//! hooks call into the [`abpmem`] persistent-memory model (real `clflush` +
+//! `sfence` instructions, a simulated-latency mode, or counting only — see
+//! `DESIGN.md` §4 for how this substitutes for the paper's Optane hardware).
+//!
+//! # Example
+//!
+//! ```
+//! use pabtree::PElimABTree;
+//!
+//! abpmem::set_mode(abpmem::PersistMode::CountOnly);
+//! let tree: PElimABTree = PElimABTree::new();
+//! assert_eq!(tree.insert(1, 10), None);
+//! assert_eq!(tree.get(1), Some(10));
+//! // After a (simulated) crash, recovery restores the volatile fields.
+//! tree.recover();
+//! assert_eq!(tree.get(1), Some(10));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod recovery;
+
+use abtree::{AbTree, Persist};
+use absync::McsLock;
+
+/// Persistence policy backed by the `abpmem` flush/fence primitives.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DurablePersist;
+
+impl Persist for DurablePersist {
+    const DURABLE: bool = true;
+
+    #[inline]
+    fn persist_range(ptr: *const u8, len: usize) {
+        abpmem::persist(ptr, len);
+    }
+
+    #[inline]
+    fn flush_range(ptr: *const u8, len: usize) {
+        abpmem::flush(ptr, len);
+    }
+
+    #[inline]
+    fn fence() {
+        abpmem::sfence();
+    }
+
+    fn policy_name() -> &'static str {
+        "durable"
+    }
+}
+
+/// The p-OCC-ABtree of paper §5: durably linearizable OCC-ABtree.
+pub type POccABTree<L = McsLock> = AbTree<false, L, DurablePersist>;
+
+/// The p-Elim-ABtree of paper §5: durably linearizable Elim-ABtree.
+pub type PElimABTree<L = McsLock> = AbTree<true, L, DurablePersist>;
+
+pub use recovery::{recover, RecoveryReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abpmem::{PersistMode, TrackingSession};
+    use abtree::ConcurrentMap;
+
+    #[test]
+    fn durable_trees_behave_like_volatile_ones() {
+        let _session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let occ: POccABTree = POccABTree::new();
+        let elim: PElimABTree = PElimABTree::new();
+        for t in [&occ as &dyn ConcurrentMap, &elim as &dyn ConcurrentMap] {
+            for k in 0..2_000u64 {
+                assert_eq!(t.insert(k, k * 3), None);
+            }
+            for k in 0..2_000u64 {
+                assert_eq!(t.get(k), Some(k * 3));
+            }
+            for k in (0..2_000u64).step_by(2) {
+                assert_eq!(t.delete(k), Some(k * 3));
+            }
+            for k in 0..2_000u64 {
+                let expected = if k % 2 == 0 { None } else { Some(k * 3) };
+                assert_eq!(t.get(k), expected);
+            }
+        }
+        occ.check_invariants().unwrap();
+        elim.check_invariants().unwrap();
+        assert_eq!(ConcurrentMap::name(&occ), "p-occ-abtree");
+        assert_eq!(ConcurrentMap::name(&elim), "p-elim-abtree");
+    }
+
+    #[test]
+    fn simple_insert_issues_two_flushes_and_two_fences() {
+        // Paper §5: "For a simple insert(key, val), two flushes must be used:
+        // val must be flushed after it is written, and key must be flushed
+        // after it is written."  (A flush = clwb + sfence.)
+        let session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let tree: POccABTree = POccABTree::new();
+        // Pre-insert a key so the next insert is a simple (non-splitting)
+        // insert into an existing leaf, then clear the log.
+        tree.insert(1, 1);
+        drop(session);
+
+        let session = TrackingSession::start();
+        abpmem::reset_stats();
+        assert_eq!(tree.insert(2, 20), None);
+        let stats = abpmem::stats();
+        let events = session.finish();
+        assert_eq!(stats.flushes, 2, "simple insert must flush val then key");
+        assert_eq!(stats.fences, 2);
+        // The first flush must cover the value slot, the second the key slot;
+        // with both in the same leaf we simply check there are exactly two
+        // flush events separated by fences.
+        let flushes: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, abpmem::FlushEvent::Flush { .. }))
+            .collect();
+        assert_eq!(flushes.len(), 2);
+    }
+
+    #[test]
+    fn successful_delete_issues_one_flush() {
+        let _setup = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let tree: POccABTree = POccABTree::new();
+        for k in 0..5u64 {
+            tree.insert(k, k);
+        }
+        drop(_setup);
+
+        let _session = TrackingSession::start();
+        abpmem::reset_stats();
+        assert_eq!(tree.delete(3), Some(3));
+        let stats = abpmem::stats();
+        assert_eq!(stats.flushes, 1, "delete flushes only the emptied key slot");
+        assert_eq!(stats.fences, 1);
+
+        // An unsuccessful delete must not flush at all.
+        abpmem::reset_stats();
+        assert_eq!(tree.delete(999), None);
+        assert_eq!(abpmem::stats().flushes, 0);
+    }
+
+    #[test]
+    fn failed_insert_issues_no_flushes() {
+        let _session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let tree: PElimABTree = PElimABTree::new();
+        tree.insert(7, 70);
+        abpmem::reset_stats();
+        assert_eq!(tree.insert(7, 71), Some(70));
+        assert_eq!(abpmem::stats().flushes, 0);
+        assert_eq!(tree.get(7), Some(70));
+    }
+
+    #[test]
+    fn splitting_insert_flushes_new_nodes_before_link() {
+        let session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let tree: POccABTree = POccABTree::new();
+        // Fill the root leaf exactly to capacity...
+        for k in 0..abtree::MAX_KEYS as u64 {
+            tree.insert(k, k);
+        }
+        drop(session);
+        // ...then one more insert forces a splitting insert.
+        let session = TrackingSession::start();
+        abpmem::reset_stats();
+        assert_eq!(tree.insert(1_000, 1), None);
+        let events = session.finish();
+        let stats = abpmem::stats();
+        // New nodes (two leaves + tagged node, then fixTagged's replacement
+        // root) are multiple cache lines each, so many flushes; the important
+        // property is ordering: some node flush happens before the pointer
+        // flush, which we conservatively check via event count and a final
+        // fence.
+        assert!(
+            stats.flushes > 4,
+            "splitting insert must flush whole new nodes (got {})",
+            stats.flushes
+        );
+        assert!(stats.fences >= 2);
+        assert!(matches!(
+            events.first(),
+            Some(abpmem::FlushEvent::Flush { .. })
+        ));
+        tree.check_invariants().unwrap();
+        for k in 0..abtree::MAX_KEYS as u64 {
+            assert_eq!(tree.get(k), Some(k));
+        }
+        assert_eq!(tree.get(1_000), Some(1));
+    }
+
+    #[test]
+    fn elimination_fires_and_skips_flushes_under_same_key_churn() {
+        // The motivation for the p-Elim-ABtree (§1, §5): an eliminated
+        // operation returns without writing to the tree, hence without
+        // issuing any flush or fence.  Hammer one key from several threads
+        // with Optane-like flush latency (so updates hold the leaf lock long
+        // enough for same-key operations to overlap them) and check that a
+        // substantial number of operations complete via elimination.
+        use std::sync::Arc;
+        let _session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::Simulated {
+            flush_ns: 300,
+            fence_ns: 100,
+        });
+
+        let tree: Arc<PElimABTree> = Arc::new(PElimABTree::new());
+        // Seed some structure around the hot key.
+        for k in 0..8u64 {
+            tree.insert(k * 10, 0);
+        }
+        abpmem::reset_stats();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let tree = Arc::clone(&tree);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    if (i + t) % 2 == 0 {
+                        tree.insert(42, i);
+                    } else {
+                        tree.delete(42);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        abpmem::set_mode(PersistMode::CountOnly);
+
+        let eliminations = tree.elimination_count();
+        assert!(
+            eliminations > 100,
+            "expected publishing elimination to fire under single-key churn, got {eliminations}"
+        );
+        // Sanity: every eliminated operation saved at least one flush, so the
+        // flush count must be well below what one-flush-per-update would give
+        // if none of those operations had been eliminated.
+        tree.check_invariants().unwrap();
+    }
+}

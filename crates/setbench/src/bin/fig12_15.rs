@@ -1,0 +1,28 @@
+//! Driver for the SetBench microbenchmark figures (Figures 12-15).
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin fig12_15 -- [keys] [seconds-per-cell]
+//!
+//! `keys` selects the figure: 10000 -> Fig 12, 100000 -> Fig 13,
+//! 1000000 -> Fig 14 (default), 10000000 -> Fig 15.
+
+use std::time::Duration;
+
+use setbench::{run_microbench_figure, FigureParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let experiment = match keys {
+        10_000 => "fig12",
+        100_000 => "fig13",
+        1_000_000 => "fig14",
+        10_000_000 => "fig15",
+        _ => "fig-custom",
+    };
+    let params = FigureParams::microbench(experiment, keys, Duration::from_secs_f64(secs));
+    let results = run_microbench_figure(&params);
+    let failed: Vec<_> = results.iter().filter(|r| !r.validated).collect();
+    assert!(failed.is_empty(), "validation failures: {failed:?}");
+}

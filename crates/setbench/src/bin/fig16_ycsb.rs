@@ -1,0 +1,25 @@
+//! Driver for Figure 16: YCSB Workload A throughput.
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin fig16_ycsb -- [records] [seconds-per-cell]
+//!
+//! The paper loads 100M records; the default here is 10M to fit typical
+//! container memory, which preserves the relative ordering of the curves.
+
+use std::time::Duration;
+
+use setbench::{default_thread_counts, run_ycsb_figure, VOLATILE_STRUCTURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000_000);
+    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let structures: Vec<String> = VOLATILE_STRUCTURES.iter().map(|s| s.to_string()).collect();
+    let results = run_ycsb_figure(
+        records,
+        &default_thread_counts(),
+        Duration::from_secs_f64(secs),
+        &structures,
+    );
+    assert!(results.iter().all(|r| r.validated), "validation failed");
+}

@@ -1,0 +1,17 @@
+//! Driver for Figure 17: persistent trees (p-OCC-ABtree, p-Elim-ABtree,
+//! FPTree-like baseline) at 1M keys and 50% updates.
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin fig17_persistent -- [keys] [seconds-per-cell]
+
+use std::time::Duration;
+
+use setbench::{default_thread_counts, run_persistence_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let results = run_persistence_figure(keys, &default_thread_counts(), Duration::from_secs_f64(secs));
+    assert!(results.iter().all(|r| r.validated), "validation failed");
+}

@@ -1,0 +1,18 @@
+//! Driver for Table 1: change in throughput upon enabling persistence
+//! (volatile OCC/Elim-ABtree vs durable p-OCC/p-Elim-ABtree), at the maximum
+//! thread count, 1M keys, update rates {100, 50, 10}%, uniform and Zipf(1).
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin table1_overhead -- [keys] [seconds-per-cell]
+
+use std::time::Duration;
+
+use setbench::{default_thread_counts, run_persistence_overhead_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let threads = *default_thread_counts().last().unwrap();
+    run_persistence_overhead_table(keys, threads, Duration::from_secs_f64(secs));
+}

@@ -1,0 +1,273 @@
+//! Per-figure / per-table experiment drivers.
+//!
+//! Each function regenerates one figure or table of the paper's evaluation
+//! (§6) as a text table of throughput numbers (operations per microsecond,
+//! the paper's y-axis unit), plus one JSON line per cell on stderr for
+//! machine consumption.  The driver binaries in `src/bin/` call these with
+//! full-scale parameters; the Criterion benches call the same harness with
+//! scaled-down grids.
+
+use std::time::Duration;
+
+use crate::harness::{run_microbench, run_ycsb, MicrobenchConfig, YcsbConfig};
+use crate::registry::{PERSISTENT_STRUCTURES, VOLATILE_STRUCTURES};
+use crate::report::{print_figure_header, print_result_row, BenchResult};
+
+/// Default thread counts for scaling sweeps on this machine: 1, 2, 4, ...,
+/// up to the number of logical CPUs.
+pub fn default_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize];
+    let mut c = 2;
+    while c < max {
+        counts.push(c);
+        c *= 2;
+    }
+    if *counts.last().unwrap() != max {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Parameters shared by the microbenchmark figures (12-15).
+#[derive(Debug, Clone)]
+pub struct FigureParams {
+    /// Experiment label (e.g. `"fig14"`).
+    pub experiment: String,
+    /// Key range.
+    pub key_range: u64,
+    /// Zipf parameters (the paper plots uniform = 0 and Zipf = 1 columns).
+    pub zipfs: Vec<f64>,
+    /// Update percentages (the paper plots 100, 50, 20, 5 rows).
+    pub update_percents: Vec<u32>,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Measured-phase length per cell.
+    pub duration: Duration,
+    /// Structures to run.
+    pub structures: Vec<String>,
+}
+
+impl FigureParams {
+    /// The paper's microbenchmark grid (Figures 12-15) for a given key range,
+    /// with a configurable per-cell duration.
+    pub fn microbench(experiment: &str, key_range: u64, duration: Duration) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            key_range,
+            zipfs: vec![0.0, 1.0],
+            update_percents: vec![100, 50, 20, 5],
+            threads: default_thread_counts(),
+            duration,
+            structures: VOLATILE_STRUCTURES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Runs one of the SetBench microbenchmark figures (Figure 12, 13, 14 or 15,
+/// depending on `key_range`).
+pub fn run_microbench_figure(params: &FigureParams) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for &zipf in &params.zipfs {
+        for &update_percent in &params.update_percents {
+            print_figure_header(
+                &params.experiment,
+                &format!(
+                    "{} keys, {}% updates, {} distribution",
+                    params.key_range,
+                    update_percent,
+                    if zipf == 0.0 {
+                        "uniform".to_string()
+                    } else {
+                        format!("Zipf({zipf})")
+                    }
+                ),
+            );
+            for structure in &params.structures {
+                for &threads in &params.threads {
+                    let cfg = MicrobenchConfig {
+                        structure: structure.clone(),
+                        key_range: params.key_range,
+                        update_percent,
+                        zipf,
+                        threads,
+                        duration: params.duration,
+                        seed: 0xD1CE,
+                    };
+                    let mut r = run_microbench(&cfg);
+                    r.experiment = params.experiment.clone();
+                    let json = print_result_row(&r);
+                    eprintln!("{json}");
+                    results.push(r);
+                }
+            }
+        }
+    }
+    results
+}
+
+/// Figure 16: YCSB Workload A throughput sweep.
+pub fn run_ycsb_figure(
+    records: u64,
+    threads: &[usize],
+    duration: Duration,
+    structures: &[String],
+) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    print_figure_header(
+        "fig16",
+        &format!("YCSB Workload A, {records} records, request Zipf 0.5"),
+    );
+    for structure in structures {
+        for &t in threads {
+            let cfg = YcsbConfig {
+                structure: structure.clone(),
+                records,
+                zipf: 0.5,
+                threads: t,
+                duration,
+                seed: 0xFEED,
+            };
+            let mut r = run_ycsb(&cfg);
+            r.experiment = "fig16".into();
+            let json = print_result_row(&r);
+            eprintln!("{json}");
+            results.push(r);
+        }
+    }
+    results
+}
+
+/// Figure 17: persistent trees (p-OCC, p-Elim, FPTree-like) at 1M keys and
+/// 50% updates, uniform and Zipf(1).
+pub fn run_persistence_figure(
+    key_range: u64,
+    threads: &[usize],
+    duration: Duration,
+) -> Vec<BenchResult> {
+    abpmem::set_mode(abpmem::PersistMode::Real);
+    let mut results = Vec::new();
+    for &zipf in &[0.0, 1.0] {
+        print_figure_header(
+            "fig17",
+            &format!(
+                "persistent trees, {key_range} keys, 50% updates, {}",
+                if zipf == 0.0 { "uniform" } else { "Zipf(1)" }
+            ),
+        );
+        for structure in PERSISTENT_STRUCTURES {
+            for &t in threads {
+                let cfg = MicrobenchConfig {
+                    structure: structure.to_string(),
+                    key_range,
+                    update_percent: 50,
+                    zipf,
+                    threads: t,
+                    duration,
+                    seed: 0xCAFE,
+                };
+                let mut r = run_microbench(&cfg);
+                r.experiment = "fig17".into();
+                let json = print_result_row(&r);
+                eprintln!("{json}");
+                results.push(r);
+            }
+        }
+    }
+    abpmem::set_mode(abpmem::PersistMode::CountOnly);
+    results
+}
+
+/// Table 1: change in throughput upon enabling persistence, at the maximum
+/// thread count, 1M keys, update rates {100, 50, 10}%, uniform and Zipf(1).
+/// Returns `(volatile, persistent, overhead_percent)` rows.
+pub fn run_persistence_overhead_table(
+    key_range: u64,
+    threads: usize,
+    duration: Duration,
+) -> Vec<(BenchResult, BenchResult, f64)> {
+    let pairs = [("occ-abtree", "p-occ-abtree"), ("elim-abtree", "p-elim-abtree")];
+    let mut rows = Vec::new();
+    println!();
+    println!("=== table1: persistence overhead ({threads} threads, {key_range} keys) ===");
+    println!(
+        "{:<16} {:>8} {:>8} {:>14} {:>14} {:>10}",
+        "structure", "zipf", "upd%", "volatile op/us", "durable op/us", "overhead"
+    );
+    for &zipf in &[0.0, 1.0] {
+        for &update_percent in &[100u32, 50, 10] {
+            for (volatile, durable) in pairs {
+                abpmem::set_mode(abpmem::PersistMode::NoOp);
+                let v = run_microbench(&MicrobenchConfig {
+                    structure: volatile.to_string(),
+                    key_range,
+                    update_percent,
+                    zipf,
+                    threads,
+                    duration,
+                    seed: 0xAB1E,
+                });
+                abpmem::set_mode(abpmem::PersistMode::Real);
+                let p = run_microbench(&MicrobenchConfig {
+                    structure: durable.to_string(),
+                    key_range,
+                    update_percent,
+                    zipf,
+                    threads,
+                    duration,
+                    seed: 0xAB1E,
+                });
+                abpmem::set_mode(abpmem::PersistMode::CountOnly);
+                let overhead = (p.throughput_mops - v.throughput_mops) / v.throughput_mops * 100.0;
+                println!(
+                    "{:<16} {:>8} {:>8} {:>14.3} {:>14.3} {:>9.1}%",
+                    durable, zipf, update_percent, v.throughput_mops, p.throughput_mops, overhead
+                );
+                rows.push((v, p, overhead));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_are_increasing_and_bounded() {
+        let counts = default_thread_counts();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        let max = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(*counts.last().unwrap(), max);
+    }
+
+    #[test]
+    fn tiny_figure_run_produces_rows() {
+        let params = FigureParams {
+            experiment: "fig-test".into(),
+            key_range: 500,
+            zipfs: vec![0.0],
+            update_percents: vec![100],
+            threads: vec![2],
+            duration: Duration::from_millis(30),
+            structures: vec!["elim-abtree".into(), "catree".into()],
+        };
+        let results = run_microbench_figure(&params);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.validated));
+    }
+
+    #[test]
+    fn tiny_table1_run() {
+        let rows = run_persistence_overhead_table(2_000, 2, Duration::from_millis(30));
+        // 2 zipfs x 3 update rates x 2 tree pairs.
+        assert_eq!(rows.len(), 12);
+        for (v, p, _) in &rows {
+            assert!(v.validated && p.validated);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! The benchmark harness: prefill, timed measured phase, validation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use workload::{KeyDistribution, Operation, OperationMix, YcsbOp, YcsbWorkload};
+
+use crate::registry::{make_structure, Benchable};
+use crate::report::BenchResult;
+
+/// Configuration of one microbenchmark run (one cell of Figures 12-15/17 and
+/// Table 1).
+#[derive(Debug, Clone)]
+pub struct MicrobenchConfig {
+    /// Registry name of the data structure to run.
+    pub structure: String,
+    /// Number of distinct keys.
+    pub key_range: u64,
+    /// Percentage of operations that are updates (split evenly between
+    /// inserts and deletes).
+    pub update_percent: u32,
+    /// Zipf parameter (0 = uniform, the paper also uses 1.0; YCSB uses 0.5).
+    pub zipf: f64,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Length of the measured phase.
+    pub duration: Duration,
+    /// RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+/// Configuration of one YCSB run (Figure 16).
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Registry name of the data structure used as the index.
+    pub structure: String,
+    /// Number of records loaded before the measured phase.
+    pub records: u64,
+    /// Request-distribution Zipf factor (0.5 for Workload A in the paper).
+    pub zipf: f64,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Length of the measured phase.
+    pub duration: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Per-thread tally used for the paper's checksum validation.
+#[derive(Default)]
+struct ThreadTally {
+    ops: u64,
+    inserted_sum: i128,
+    deleted_sum: i128,
+}
+
+/// Parallel prefill to the steady-state size, tracking the key checksum of
+/// everything successfully inserted.
+fn prefill_parallel(
+    map: &Arc<Box<dyn Benchable>>,
+    key_range: u64,
+    target: u64,
+    threads: usize,
+    seed: u64,
+) -> i128 {
+    let inserted = Arc::new(AtomicU64::new(0));
+    let checksum = Arc::new(AtomicU64::new(0)); // wrapping sum of keys (mod 2^64)
+    let mut sum_i128 = 0i128;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads.max(1) {
+            let map = Arc::clone(map);
+            let inserted = Arc::clone(&inserted);
+            let checksum = Arc::clone(&checksum);
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x5EED + t as u64));
+                let mut local_sum = 0i128;
+                while inserted.load(Ordering::Relaxed) < target {
+                    let key = rng.gen_range(0..key_range);
+                    if map.insert(key, key).is_none() {
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                        checksum.fetch_add(key, Ordering::Relaxed);
+                        local_sum += key as i128;
+                    }
+                }
+                local_sum
+            }));
+        }
+        for h in handles {
+            sum_i128 += h.join().expect("prefill thread panicked");
+        }
+    });
+    sum_i128
+}
+
+/// Runs one microbenchmark cell: prefill, measured phase, validation.
+pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
+    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+    let mix = OperationMix::from_update_percent(cfg.update_percent);
+    let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
+
+    // Prefill to half the key range (§6 "Methodology").
+    let target = cfg.key_range / 2;
+    let prefill_sum = prefill_parallel(&map, cfg.key_range, target, cfg.threads, cfg.seed);
+
+    // Measured phase.
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut tallies: Vec<ThreadTally> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            let dist = dist.clone();
+            let mix = mix;
+            let seed = cfg.seed;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + 31 * t as u64));
+                let mut tally = ThreadTally::default();
+                while !stop.load(Ordering::Relaxed) {
+                    // Batch a few operations per stop-flag check.
+                    for _ in 0..64 {
+                        let key = dist.sample(&mut rng);
+                        match mix.sample(&mut rng) {
+                            Operation::Insert => {
+                                if map.insert(key, key).is_none() {
+                                    tally.inserted_sum += key as i128;
+                                }
+                            }
+                            Operation::Delete => {
+                                if map.delete(key).is_some() {
+                                    tally.deleted_sum += key as i128;
+                                }
+                            }
+                            Operation::Find => {
+                                std::hint::black_box(map.get(key));
+                            }
+                        }
+                        tally.ops += 1;
+                    }
+                }
+                tally
+            }));
+        }
+        // Sleep for the measured duration, then stop the workers.
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            tallies.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let total_ops: u64 = tallies.iter().map(|t| t.ops).sum();
+    let net: i128 = prefill_sum
+        + tallies.iter().map(|t| t.inserted_sum).sum::<i128>()
+        - tallies.iter().map(|t| t.deleted_sum).sum::<i128>();
+    let validated = map.key_sum() as i128 == net;
+
+    BenchResult {
+        experiment: String::new(),
+        structure: cfg.structure.clone(),
+        threads: cfg.threads,
+        key_range: cfg.key_range,
+        update_percent: cfg.update_percent,
+        zipf: cfg.zipf,
+        total_ops,
+        duration_secs: elapsed.as_secs_f64(),
+        throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        validated,
+    }
+}
+
+/// Runs one YCSB cell (Figure 16): load phase then a timed request phase.
+/// Writes in Workload A touch the row, not the index (paper §6.2), so both
+/// reads and updates are index lookups; only Workload D-style inserts modify
+/// the index.
+pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
+    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+    let workload = YcsbWorkload::workload_a(cfg.records, cfg.zipf);
+
+    // Load phase: insert every record, split across threads.
+    let mut load_sum = 0i128;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let chunk = cfg.records / cfg.threads.max(1) as u64 + 1;
+        for t in 0..cfg.threads.max(1) as u64 {
+            let map = Arc::clone(&map);
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(cfg.records);
+            handles.push(scope.spawn(move || {
+                let mut sum = 0i128;
+                for key in lo..hi {
+                    if map.insert(key, key).is_none() {
+                        sum += key as i128;
+                    }
+                }
+                sum
+            }));
+        }
+        for h in handles {
+            load_sum += h.join().expect("load thread panicked");
+        }
+    });
+
+    // Request phase.
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut tallies: Vec<ThreadTally> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            let workload = workload.clone();
+            let seed = cfg.seed;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xFACE + 17 * t as u64));
+                let mut tally = ThreadTally::default();
+                // The "database rows" behind the index: a per-thread sink that
+                // models the row write of a YCSB update.
+                let mut row_sink: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        match workload.next_op(&mut rng) {
+                            YcsbOp::Read(k) => {
+                                std::hint::black_box(map.get(k));
+                            }
+                            YcsbOp::Update(k) => {
+                                if let Some(row) = map.get(k) {
+                                    row_sink = row_sink.wrapping_add(row);
+                                }
+                            }
+                            YcsbOp::Insert(k) => {
+                                if map.insert(k, k).is_none() {
+                                    tally.inserted_sum += k as i128;
+                                }
+                            }
+                        }
+                        tally.ops += 1;
+                    }
+                }
+                std::hint::black_box(row_sink);
+                tally
+            }));
+        }
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            tallies.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let total_ops: u64 = tallies.iter().map(|t| t.ops).sum();
+    let net: i128 = load_sum + tallies.iter().map(|t| t.inserted_sum).sum::<i128>();
+    let validated = map.key_sum() as i128 == net;
+
+    BenchResult {
+        experiment: "ycsb-a".into(),
+        structure: cfg.structure.clone(),
+        threads: cfg.threads,
+        key_range: cfg.records,
+        update_percent: 50,
+        zipf: cfg.zipf,
+        total_ops,
+        duration_secs: elapsed.as_secs_f64(),
+        throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        validated,
+    }
+}
+
+/// A prefilled microbenchmark instance for latency-style measurements.
+///
+/// The Criterion benches (crate `bench-suite`) measure the wall-clock time
+/// needed to complete a fixed number of operations across the configured
+/// thread count, which Criterion converts into a throughput figure.  The
+/// instance is prefilled once and reused across measurement iterations; the
+/// balanced insert/delete mix keeps it at its steady-state size.
+pub struct MicrobenchInstance {
+    map: Arc<Box<dyn Benchable>>,
+    cfg: MicrobenchConfig,
+    dist: KeyDistribution,
+    mix: OperationMix,
+}
+
+impl MicrobenchInstance {
+    /// Builds the data structure and prefills it to half the key range.
+    pub fn new(cfg: MicrobenchConfig) -> Self {
+        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+        let target = cfg.key_range / 2;
+        prefill_parallel(&map, cfg.key_range, target, cfg.threads, cfg.seed);
+        let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
+        let mix = OperationMix::from_update_percent(cfg.update_percent);
+        Self {
+            map,
+            cfg,
+            dist,
+            mix,
+        }
+    }
+
+    /// Runs approximately `total_ops` operations split across the configured
+    /// threads and returns the elapsed wall-clock time.
+    pub fn run_ops(&self, total_ops: u64) -> Duration {
+        let per_thread = total_ops / self.cfg.threads.max(1) as u64;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..self.cfg.threads {
+                let map = Arc::clone(&self.map);
+                let dist = self.dist.clone();
+                let mix = self.mix;
+                let seed = self.cfg.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for _ in 0..per_thread {
+                        let key = dist.sample(&mut rng);
+                        match mix.sample(&mut rng) {
+                            Operation::Insert => {
+                                std::hint::black_box(map.insert(key, key));
+                            }
+                            Operation::Delete => {
+                                std::hint::black_box(map.delete(key));
+                            }
+                            Operation::Find => {
+                                std::hint::black_box(map.get(key));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    }
+
+    /// The underlying map (for post-run validation in tests).
+    pub fn map(&self) -> &dyn Benchable {
+        self.map.as_ref().as_ref()
+    }
+}
+
+/// A loaded YCSB instance for latency-style measurements (Figure 16's bench).
+pub struct YcsbInstance {
+    map: Arc<Box<dyn Benchable>>,
+    workload: YcsbWorkload,
+    threads: usize,
+    seed: u64,
+}
+
+impl YcsbInstance {
+    /// Builds the index and loads `cfg.records` records.
+    pub fn new(cfg: YcsbConfig) -> Self {
+        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+        let workload = YcsbWorkload::workload_a(cfg.records, cfg.zipf);
+        std::thread::scope(|scope| {
+            let chunk = cfg.records / cfg.threads.max(1) as u64 + 1;
+            for t in 0..cfg.threads.max(1) as u64 {
+                let map = Arc::clone(&map);
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(cfg.records);
+                scope.spawn(move || {
+                    for key in lo..hi {
+                        map.insert(key, key);
+                    }
+                });
+            }
+        });
+        Self {
+            map,
+            workload,
+            threads: cfg.threads,
+            seed: cfg.seed,
+        }
+    }
+
+    /// Runs approximately `total_ops` YCSB requests split across the threads
+    /// and returns the elapsed wall-clock time.
+    pub fn run_ops(&self, total_ops: u64) -> Duration {
+        let per_thread = total_ops / self.threads.max(1) as u64;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..self.threads {
+                let map = Arc::clone(&self.map);
+                let workload = self.workload.clone();
+                let seed = self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut sink = 0u64;
+                    for _ in 0..per_thread {
+                        match workload.next_op(&mut rng) {
+                            YcsbOp::Read(k) | YcsbOp::Update(k) => {
+                                if let Some(v) = map.get(k) {
+                                    sink = sink.wrapping_add(v);
+                                }
+                            }
+                            YcsbOp::Insert(k) => {
+                                std::hint::black_box(map.insert(k, k));
+                            }
+                        }
+                    }
+                    std::hint::black_box(sink);
+                });
+            }
+        });
+        start.elapsed()
+    }
+}

@@ -1,0 +1,92 @@
+//! SetBench-style benchmark harness (paper §6).
+//!
+//! The paper evaluates every data structure with SetBench: each run prefills
+//! the structure to its steady-state size, then `n` threads run a timed
+//! measured phase in which each thread repeatedly draws a key from the
+//! configured distribution and an operation from the configured mix, and the
+//! total throughput (operations per microsecond) is reported.  A checksum
+//! validation — the sum of keys each thread successfully inserted minus the
+//! sum it deleted must equal the sum of keys left in the structure — guards
+//! against broken implementations.
+//!
+//! This crate reproduces that methodology and exposes one driver binary per
+//! figure/table of the paper (see `src/bin/`); the `bench-suite` crate's
+//! Criterion benches call the same entry points with scaled-down durations.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod registry;
+pub mod report;
+
+pub use figures::{
+    default_thread_counts, run_microbench_figure, run_persistence_figure,
+    run_persistence_overhead_table, run_ycsb_figure, FigureParams,
+};
+pub use harness::{
+    run_microbench, run_ycsb, MicrobenchConfig, MicrobenchInstance, YcsbConfig, YcsbInstance,
+};
+pub use registry::{make_structure, structure_names, Benchable, PERSISTENT_STRUCTURES, VOLATILE_STRUCTURES};
+pub use report::{print_figure_header, print_result_row, BenchResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn microbench_runs_and_validates_every_structure() {
+        for name in structure_names() {
+            let cfg = MicrobenchConfig {
+                structure: name.to_string(),
+                key_range: 1_000,
+                update_percent: 50,
+                zipf: 0.0,
+                threads: 2,
+                duration: Duration::from_millis(50),
+                seed: 1,
+            };
+            let result = run_microbench(&cfg);
+            assert!(result.validated, "validation failed for {name}");
+            assert!(result.total_ops > 0, "no ops completed for {name}");
+            assert_eq!(result.structure, *name);
+        }
+    }
+
+    #[test]
+    fn zipfian_microbench_validates() {
+        let cfg = MicrobenchConfig {
+            structure: "elim-abtree".into(),
+            key_range: 10_000,
+            update_percent: 100,
+            zipf: 1.0,
+            threads: 4,
+            duration: Duration::from_millis(100),
+            seed: 7,
+        };
+        let r = run_microbench(&cfg);
+        assert!(r.validated);
+        assert!(r.throughput_mops > 0.0);
+    }
+
+    #[test]
+    fn ycsb_runs() {
+        let cfg = YcsbConfig {
+            structure: "occ-abtree".into(),
+            records: 10_000,
+            zipf: 0.5,
+            threads: 2,
+            duration: Duration::from_millis(50),
+            seed: 3,
+        };
+        let r = run_ycsb(&cfg);
+        assert!(r.total_ops > 0);
+        assert!(r.validated);
+    }
+
+    #[test]
+    fn unknown_structure_panics() {
+        assert!(std::panic::catch_unwind(|| make_structure("no-such-tree")).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Registry of benchmarkable data structures.
+//!
+//! Every structure in this repository is driven through the [`Benchable`]
+//! trait, which extends [`abtree::ConcurrentMap`] with the key-sum accessor
+//! used by the harness's validation step (paper §6 "Validation").
+
+use abtree::{ConcurrentMap, ElimABTree, OccABTree};
+use baselines::{CaTree, CowABTree, FpTree, LazySkipList, LockExtBst};
+use pabtree::{PElimABTree, POccABTree};
+
+/// A concurrent map that can also report the sum of its keys for validation.
+pub trait Benchable: ConcurrentMap {
+    /// Sum of all keys currently stored (quiescent only).
+    fn key_sum(&self) -> u128;
+}
+
+impl Benchable for OccABTree {
+    fn key_sum(&self) -> u128 {
+        OccABTree::key_sum(self)
+    }
+}
+impl Benchable for ElimABTree {
+    fn key_sum(&self) -> u128 {
+        ElimABTree::key_sum(self)
+    }
+}
+impl Benchable for POccABTree {
+    fn key_sum(&self) -> u128 {
+        POccABTree::key_sum(self)
+    }
+}
+impl Benchable for PElimABTree {
+    fn key_sum(&self) -> u128 {
+        PElimABTree::key_sum(self)
+    }
+}
+impl Benchable for CaTree {
+    fn key_sum(&self) -> u128 {
+        CaTree::key_sum(self)
+    }
+}
+impl Benchable for LockExtBst {
+    fn key_sum(&self) -> u128 {
+        LockExtBst::key_sum(self)
+    }
+}
+impl Benchable for CowABTree {
+    fn key_sum(&self) -> u128 {
+        CowABTree::key_sum(self)
+    }
+}
+impl Benchable for FpTree {
+    fn key_sum(&self) -> u128 {
+        FpTree::key_sum(self)
+    }
+}
+impl Benchable for LazySkipList {
+    fn key_sum(&self) -> u128 {
+        LazySkipList::key_sum(self)
+    }
+}
+
+/// Volatile structures compared in Figures 12-16.
+pub const VOLATILE_STRUCTURES: &[&str] = &[
+    "elim-abtree",
+    "occ-abtree",
+    "catree",
+    "lf-abtree(cow)",
+    "ext-bst-lock",
+    "skiplist-lazy",
+];
+
+/// Persistent structures compared in Figure 17 and Table 1.
+pub const PERSISTENT_STRUCTURES: &[&str] = &["p-elim-abtree", "p-occ-abtree", "fptree"];
+
+/// Every structure name known to the registry.
+pub fn structure_names() -> Vec<&'static str> {
+    let mut v = VOLATILE_STRUCTURES.to_vec();
+    v.extend_from_slice(PERSISTENT_STRUCTURES);
+    v
+}
+
+/// Instantiates a structure by name.  Panics on unknown names.
+pub fn make_structure(name: &str) -> Box<dyn Benchable> {
+    match name {
+        "occ-abtree" => Box::new(OccABTree::new()),
+        "elim-abtree" => Box::new(ElimABTree::new()),
+        "p-occ-abtree" => Box::new(POccABTree::new()),
+        "p-elim-abtree" => Box::new(PElimABTree::new()),
+        "catree" => Box::new(CaTree::new()),
+        "ext-bst-lock" => Box::new(LockExtBst::new()),
+        "skiplist-lazy" => Box::new(LazySkipList::new()),
+        "lf-abtree(cow)" => Box::new(CowABTree::new()),
+        "fptree" => Box::new(FpTree::new()),
+        other => panic!("unknown data structure: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_structure() {
+        for name in structure_names() {
+            let s = make_structure(name);
+            assert_eq!(s.insert(1, 2), None);
+            assert_eq!(s.get(1), Some(2));
+            assert_eq!(s.name(), name);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Result records and table-style reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of one benchmark cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Experiment identifier (e.g. `"fig14"`, `"table1"`).
+    pub experiment: String,
+    /// Data structure name.
+    pub structure: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Key range (or record count for YCSB).
+    pub key_range: u64,
+    /// Update percentage of the operation mix.
+    pub update_percent: u32,
+    /// Zipf parameter (0 = uniform).
+    pub zipf: f64,
+    /// Operations completed during the measured phase.
+    pub total_ops: u64,
+    /// Measured-phase length in seconds.
+    pub duration_secs: f64,
+    /// Throughput in operations per microsecond (the paper's y-axis unit).
+    pub throughput_mops: f64,
+    /// Whether the key-sum validation passed.
+    pub validated: bool,
+}
+
+/// Prints the header of a figure-style table.
+pub fn print_figure_header(experiment: &str, description: &str) {
+    println!();
+    println!("=== {experiment}: {description} ===");
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14} {:>10}",
+        "structure", "threads", "keys", "upd%", "zipf", "ops/us", "valid"
+    );
+}
+
+/// Prints one result row in the figure-style table and returns the row as a
+/// JSON string (one line, suitable for machine parsing).
+pub fn print_result_row(r: &BenchResult) -> String {
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14.3} {:>10}",
+        r.structure,
+        r.threads,
+        r.key_range,
+        r.update_percent,
+        r.zipf,
+        r.throughput_mops,
+        if r.validated { "ok" } else { "FAIL" }
+    );
+    serde_json::to_string(r).expect("BenchResult serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_round_trips_through_json() {
+        let r = BenchResult {
+            experiment: "fig12".into(),
+            structure: "elim-abtree".into(),
+            threads: 8,
+            key_range: 10_000,
+            update_percent: 100,
+            zipf: 1.0,
+            total_ops: 123_456,
+            duration_secs: 1.0,
+            throughput_mops: 0.123456,
+            validated: true,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.structure, "elim-abtree");
+        assert_eq!(back.total_ops, 123_456);
+        assert!(back.validated);
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_figure_header("fig0", "smoke");
+        let r = BenchResult {
+            experiment: "fig0".into(),
+            structure: "x".into(),
+            threads: 1,
+            key_range: 1,
+            update_percent: 0,
+            zipf: 0.0,
+            total_ops: 0,
+            duration_secs: 0.1,
+            throughput_mops: 0.0,
+            validated: true,
+        };
+        let json = print_result_row(&r);
+        assert!(json.contains("\"structure\":\"x\""));
+    }
+}

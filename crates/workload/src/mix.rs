@@ -1,0 +1,140 @@
+//! Operation mixes.
+//!
+//! The paper's microbenchmark (§6.1) parameterizes each run by an *update
+//! percentage* `x`: each thread repeatedly picks an operation that is an
+//! insert with probability `x/2`, a delete with probability `x/2`, and a
+//! `find` otherwise.  The prefill phase relies on inserts and deletes being
+//! equally likely so the steady-state size is half the key range.
+
+use rand::Rng;
+
+/// One dictionary operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// `insert(key, value)`.
+    Insert,
+    /// `delete(key)`.
+    Delete,
+    /// `find(key)`.
+    Find,
+}
+
+/// A probability mix over the three operations (percentages sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationMix {
+    /// Percentage of inserts.
+    pub insert_pct: u32,
+    /// Percentage of deletes.
+    pub delete_pct: u32,
+    /// Percentage of finds.
+    pub find_pct: u32,
+}
+
+impl OperationMix {
+    /// Builds a mix from explicit percentages; they must sum to 100.
+    pub fn new(insert_pct: u32, delete_pct: u32, find_pct: u32) -> Self {
+        assert_eq!(
+            insert_pct + delete_pct + find_pct,
+            100,
+            "operation percentages must sum to 100"
+        );
+        Self {
+            insert_pct,
+            delete_pct,
+            find_pct,
+        }
+    }
+
+    /// The paper's convention: `update_percent` updates split evenly between
+    /// inserts and deletes, the rest finds.  Odd percentages give the extra
+    /// 1% to inserts.
+    pub fn from_update_percent(update_percent: u32) -> Self {
+        assert!(update_percent <= 100);
+        let delete = update_percent / 2;
+        let insert = update_percent - delete;
+        Self::new(insert, delete, 100 - update_percent)
+    }
+
+    /// Total update percentage (inserts + deletes).
+    pub fn update_percent(&self) -> u32 {
+        self.insert_pct + self.delete_pct
+    }
+
+    /// Samples an operation kind.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Operation {
+        let p = rng.gen_range(0..100u32);
+        if p < self.insert_pct {
+            Operation::Insert
+        } else if p < self.insert_pct + self.delete_pct {
+            Operation::Delete
+        } else {
+            Operation::Find
+        }
+    }
+
+    /// Label such as `"u50"` used in benchmark output.
+    pub fn label(&self) -> String {
+        format!("u{}", self.update_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_update_percent_splits_evenly() {
+        let m = OperationMix::from_update_percent(50);
+        assert_eq!(m.insert_pct, 25);
+        assert_eq!(m.delete_pct, 25);
+        assert_eq!(m.find_pct, 50);
+        assert_eq!(m.update_percent(), 50);
+        assert_eq!(m.label(), "u50");
+    }
+
+    #[test]
+    fn odd_update_percent() {
+        let m = OperationMix::from_update_percent(5);
+        assert_eq!(m.insert_pct + m.delete_pct, 5);
+        assert_eq!(m.find_pct, 95);
+    }
+
+    #[test]
+    fn extremes() {
+        let all = OperationMix::from_update_percent(100);
+        assert_eq!(all.find_pct, 0);
+        let none = OperationMix::from_update_percent(0);
+        assert_eq!(none.insert_pct, 0);
+        assert_eq!(none.delete_pct, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(none.sample(&mut rng), Operation::Find);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn invalid_mix_panics() {
+        OperationMix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn sampling_respects_proportions() {
+        let m = OperationMix::from_update_percent(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut ins, mut del, mut fnd) = (0u32, 0u32, 0u32);
+        for _ in 0..100_000 {
+            match m.sample(&mut rng) {
+                Operation::Insert => ins += 1,
+                Operation::Delete => del += 1,
+                Operation::Find => fnd += 1,
+            }
+        }
+        assert!((9_000..11_000).contains(&ins), "ins={ins}");
+        assert!((9_000..11_000).contains(&del), "del={del}");
+        assert!((78_000..82_000).contains(&fnd), "fnd={fnd}");
+    }
+}

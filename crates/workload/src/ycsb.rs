@@ -1,0 +1,200 @@
+//! YCSB-style workloads (paper §6.2, Figure 16).
+//!
+//! The Yahoo! Cloud Serving Benchmark drives a key-value store with a mix of
+//! reads, updates, inserts and scans over a keyspace whose popularity follows
+//! a (scrambled) Zipfian distribution.  The paper runs **Workload A** (50%
+//! reads / 50% updates, request Zipf factor 0.5) against each data structure
+//! used as the database *index*, and notes that "the writes in the YCSB
+//! workload are to the database itself, not the index.  That is, a YCSB write
+//! simply reads the row pointer from the index, then locks the row, updates
+//! it, and unlocks it (without modifying the index)."
+//!
+//! Accordingly [`YcsbOp::Update`] is an index *read* followed by a simulated
+//! row write; only [`YcsbOp::Insert`] (Workload D-style) modifies the index.
+
+use rand::Rng;
+
+use crate::zipf::KeyDistribution;
+
+/// The standard YCSB core workload letters reproduced here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbWorkloadKind {
+    /// 50% reads, 50% updates (update = row write through the index).
+    A,
+    /// 95% reads, 5% updates.
+    B,
+    /// 100% reads.
+    C,
+    /// 95% reads, 5% inserts (inserts grow the index).
+    D,
+}
+
+/// One YCSB request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read the row behind `key` (index lookup).
+    Read(u64),
+    /// Update the row behind `key` (index lookup + row write; the index is
+    /// not modified).
+    Update(u64),
+    /// Insert a new row with `key` (modifies the index).
+    Insert(u64),
+}
+
+impl YcsbOp {
+    /// The key this request touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            YcsbOp::Read(k) | YcsbOp::Update(k) | YcsbOp::Insert(k) => k,
+        }
+    }
+}
+
+/// A YCSB workload generator.
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    kind: YcsbWorkloadKind,
+    request_dist: KeyDistribution,
+    key_range: u64,
+}
+
+impl YcsbWorkload {
+    /// Creates the paper's Figure 16 configuration: Workload A with the given
+    /// record count and request Zipf factor (0.5 in the paper; pass 0.0 for a
+    /// uniform request distribution).
+    pub fn workload_a(records: u64, zipf_factor: f64) -> Self {
+        Self::new(YcsbWorkloadKind::A, records, zipf_factor)
+    }
+
+    /// Creates any of the supported workloads.
+    pub fn new(kind: YcsbWorkloadKind, records: u64, zipf_factor: f64) -> Self {
+        let request_dist = if zipf_factor == 0.0 {
+            KeyDistribution::uniform(records)
+        } else {
+            // YCSB scrambles the Zipfian ranks across the keyspace.
+            KeyDistribution::zipfian_with(records, zipf_factor, true)
+        };
+        Self {
+            kind,
+            request_dist,
+            key_range: records,
+        }
+    }
+
+    /// Number of records the index should be loaded with before the run.
+    pub fn record_count(&self) -> u64 {
+        self.key_range
+    }
+
+    /// The workload letter.
+    pub fn kind(&self) -> YcsbWorkloadKind {
+        self.kind
+    }
+
+    /// Human-readable label (e.g. `"ycsb-a"`).
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            YcsbWorkloadKind::A => "ycsb-a",
+            YcsbWorkloadKind::B => "ycsb-b",
+            YcsbWorkloadKind::C => "ycsb-c",
+            YcsbWorkloadKind::D => "ycsb-d",
+        }
+    }
+
+    /// Generates the keys to load in the load phase (`0..records`).
+    pub fn load_keys(&self) -> impl Iterator<Item = u64> {
+        0..self.key_range
+    }
+
+    /// Samples the next request.
+    pub fn next_op<R: Rng + ?Sized>(&self, rng: &mut R) -> YcsbOp {
+        let key = self.request_dist.sample(rng);
+        let p = rng.gen_range(0..100u32);
+        match self.kind {
+            YcsbWorkloadKind::A => {
+                if p < 50 {
+                    YcsbOp::Read(key)
+                } else {
+                    YcsbOp::Update(key)
+                }
+            }
+            YcsbWorkloadKind::B => {
+                if p < 95 {
+                    YcsbOp::Read(key)
+                } else {
+                    YcsbOp::Update(key)
+                }
+            }
+            YcsbWorkloadKind::C => YcsbOp::Read(key),
+            YcsbWorkloadKind::D => {
+                if p < 95 {
+                    YcsbOp::Read(key)
+                } else {
+                    YcsbOp::Insert(key)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_a_is_half_reads_half_updates() {
+        let w = YcsbWorkload::workload_a(100_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (mut reads, mut updates, mut inserts) = (0u32, 0u32, 0u32);
+        for _ in 0..50_000 {
+            match w.next_op(&mut rng) {
+                YcsbOp::Read(_) => reads += 1,
+                YcsbOp::Update(_) => updates += 1,
+                YcsbOp::Insert(_) => inserts += 1,
+            }
+        }
+        assert_eq!(inserts, 0);
+        assert!((23_000..27_000).contains(&reads));
+        assert!((23_000..27_000).contains(&updates));
+        assert_eq!(w.label(), "ycsb-a");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let w = YcsbWorkload::new(YcsbWorkloadKind::C, 1_000, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1_000 {
+            assert!(matches!(w.next_op(&mut rng), YcsbOp::Read(_)));
+        }
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let w = YcsbWorkload::workload_a(5_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            assert!(w.next_op(&mut rng).key() < 5_000);
+        }
+    }
+
+    #[test]
+    fn load_keys_cover_range() {
+        let w = YcsbWorkload::workload_a(100, 0.5);
+        let keys: Vec<u64> = w.load_keys().collect();
+        assert_eq!(keys.len(), 100);
+        assert_eq!(keys[0], 0);
+        assert_eq!(keys[99], 99);
+    }
+
+    #[test]
+    fn workload_d_inserts_sometimes() {
+        let w = YcsbWorkload::new(YcsbWorkloadKind::D, 10_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inserts = (0..10_000)
+            .filter(|_| matches!(w.next_op(&mut rng), YcsbOp::Insert(_)))
+            .count();
+        assert!((300..800).contains(&inserts), "inserts = {inserts}");
+    }
+}

@@ -1,0 +1,60 @@
+//! A contended "live inventory" scenario: many threads repeatedly insert and
+//! delete the *same* small set of hot keys (think: flash-sale stock items
+//! going in and out of availability).  This is the update-heavy, highly
+//! skewed workload the paper's publishing elimination targets (§1, §4): the
+//! Elim-ABtree completes many of these operations without writing to the
+//! tree at all.
+//!
+//! Run with: `cargo run --release --example hot_key_counter`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use elim_abtree_repro::abtree::{ConcurrentMap, ElimABTree, OccABTree};
+
+fn churn<M: ConcurrentMap>(map: &Arc<M>, threads: usize, ops_per_thread: u64) -> f64 {
+    let hot_keys = 8u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let map = Arc::clone(map);
+            scope.spawn(move || {
+                for i in 0..ops_per_thread {
+                    let key = (i + t as u64) % hot_keys;
+                    if (i + t as u64) % 2 == 0 {
+                        map.insert(key, i);
+                    } else {
+                        map.delete(key);
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * ops_per_thread) as f64 / secs / 1e6
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let ops = 500_000u64;
+
+    let occ: Arc<OccABTree> = Arc::new(OccABTree::new());
+    let elim: Arc<ElimABTree> = Arc::new(ElimABTree::new());
+    // Seed some surrounding keys so the hot leaf is an interior leaf.
+    for k in 0..64u64 {
+        occ.insert(1_000 + k, 0);
+        elim.insert(1_000 + k, 0);
+    }
+
+    let occ_mops = churn(&occ, threads, ops);
+    let elim_mops = churn(&elim, threads, ops);
+
+    println!("hot-key churn with {threads} threads, {ops} ops/thread:");
+    println!("  occ-abtree : {occ_mops:.2} Mops/s");
+    println!(
+        "  elim-abtree: {elim_mops:.2} Mops/s ({:.0}% of operations eliminated)",
+        100.0 * elim.elimination_count() as f64 / (threads as u64 * ops) as f64
+    );
+    occ.check_invariants().unwrap();
+    elim.check_invariants().unwrap();
+}

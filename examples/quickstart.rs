@@ -1,0 +1,54 @@
+//! Quickstart: the Elim-ABtree as a drop-in concurrent ordered map.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use elim_abtree_repro::abtree::ElimABTree;
+
+fn main() {
+    // An Elim-ABtree over 8-byte keys and values (u64::MAX is reserved).
+    let tree: Arc<ElimABTree> = Arc::new(ElimABTree::new());
+
+    // Basic single-threaded usage.
+    assert_eq!(tree.insert(10, 100), None);
+    assert_eq!(tree.insert(10, 999), Some(100)); // key already present
+    assert_eq!(tree.get(10), Some(100));
+    assert_eq!(tree.delete(10), Some(100));
+
+    // Concurrent usage: spawn writers over disjoint key ranges and a few
+    // readers, then validate the contents.
+    let writers = 4u64;
+    let per_writer = 100_000u64;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let tree = Arc::clone(&tree);
+            scope.spawn(move || {
+                let base = w * per_writer;
+                for k in base..base + per_writer {
+                    tree.insert(k, k * 2);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let tree = Arc::clone(&tree);
+            scope.spawn(move || {
+                for k in (0..writers * per_writer).step_by(1001) {
+                    if let Some(v) = tree.get(k) {
+                        assert_eq!(v, k * 2);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(tree.len() as u64, writers * per_writer);
+    tree.check_invariants().expect("structural invariants hold");
+    println!(
+        "quickstart: inserted {} keys across {} threads; tree height = {}, eliminations = {}",
+        tree.len(),
+        writers,
+        tree.stats().height,
+        tree.elimination_count(),
+    );
+}

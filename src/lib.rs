@@ -1,0 +1,11 @@
+//! Umbrella crate for the Elim-ABtree reproduction: re-exports the public
+//! crates so examples and integration tests have a single import point.
+
+pub use abebr as ebr;
+pub use abpmem as pmem;
+pub use absync as sync;
+pub use abtree;
+pub use baselines;
+pub use pabtree;
+pub use setbench;
+pub use workload;

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the harness driving every structure, the
+//! durable trees on the persistent-memory layer, and the typed wrapper over
+//! the whole stack.
+
+use std::time::Duration;
+
+use elim_abtree_repro::abtree::{ElimABTree, TypedTree};
+use elim_abtree_repro::pabtree::{recover, PElimABTree, POccABTree};
+use elim_abtree_repro::pmem::{self, PersistMode};
+use elim_abtree_repro::setbench::{
+    make_structure, run_microbench, structure_names, MicrobenchConfig,
+};
+use elim_abtree_repro::workload::{KeyDistribution, OperationMix};
+
+#[test]
+fn harness_validates_every_structure_under_skewed_update_heavy_load() {
+    // The paper's hardest regime: 100% updates, Zipf(1).  Every structure in
+    // the registry must pass the key-sum validation.
+    for name in structure_names() {
+        let cfg = MicrobenchConfig {
+            structure: name.to_string(),
+            key_range: 2_000,
+            update_percent: 100,
+            zipf: 1.0,
+            threads: 4,
+            duration: Duration::from_millis(80),
+            seed: 0xFEED,
+        };
+        let result = run_microbench(&cfg);
+        assert!(result.validated, "{name} failed key-sum validation");
+        assert!(result.total_ops > 0, "{name} made no progress");
+    }
+}
+
+#[test]
+fn registry_and_direct_construction_agree() {
+    let from_registry = make_structure("elim-abtree");
+    let direct: ElimABTree = ElimABTree::new();
+    for k in 0..100u64 {
+        assert_eq!(from_registry.insert(k, k), direct.insert(k, k));
+    }
+    for k in 0..100u64 {
+        assert_eq!(from_registry.get(k), direct.get(k));
+    }
+}
+
+#[test]
+fn durable_tree_survives_crash_workflow_end_to_end() {
+    pmem::set_mode(PersistMode::CountOnly);
+    let tree: POccABTree = POccABTree::new();
+    // A realistic mixed workload.
+    for k in 0..20_000u64 {
+        tree.insert(k, k + 1);
+    }
+    for k in (0..20_000u64).step_by(3) {
+        tree.delete(k);
+    }
+    // Crash in the middle of two more updates.
+    assert!(tree.force_partial_insert(50_000, 7));
+    assert!(tree.force_partial_delete(10));
+    let before_crash_survivors = tree.len();
+
+    let report = recover(&tree);
+    tree.check_invariants().unwrap();
+    assert_eq!(tree.get(50_000), Some(7));
+    assert_eq!(tree.get(10), None);
+    assert_eq!(report.keys as usize, tree.len());
+    // `before_crash_survivors` was measured on the crash image, which already
+    // contains the partially inserted key and lacks the partially deleted
+    // one; recovery must preserve exactly that set (linearized at the crash).
+    assert_eq!(tree.len(), before_crash_survivors);
+
+    // The recovered tree remains fully operational.
+    for k in 60_000..61_000u64 {
+        assert_eq!(tree.insert(k, k), None);
+    }
+    assert_eq!(tree.len(), before_crash_survivors + 1_000);
+}
+
+#[test]
+fn durable_elim_tree_matches_volatile_semantics_under_contention() {
+    pmem::set_mode(PersistMode::CountOnly);
+    let durable: std::sync::Arc<PElimABTree> = std::sync::Arc::new(PElimABTree::new());
+    let volatile: std::sync::Arc<ElimABTree> = std::sync::Arc::new(ElimABTree::new());
+    let dist = KeyDistribution::zipfian(256, 1.0);
+    let mix = OperationMix::from_update_percent(100);
+
+    for map_is_durable in [true, false] {
+        let mut net: i128 = 0;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let durable = std::sync::Arc::clone(&durable);
+                let volatile = std::sync::Arc::clone(&volatile);
+                let dist = dist.clone();
+                handles.push(scope.spawn(move || {
+                    use rand::prelude::*;
+                    let mut rng = StdRng::seed_from_u64(t);
+                    let mut net = 0i128;
+                    for _ in 0..20_000 {
+                        let k = dist.sample(&mut rng);
+                        let insert = matches!(
+                            mix.sample(&mut rng),
+                            elim_abtree_repro::workload::Operation::Insert
+                        );
+                        let delta = if map_is_durable {
+                            if insert {
+                                durable.insert(k, k).is_none() as i128 * k as i128
+                            } else {
+                                -(durable.delete(k).is_some() as i128 * k as i128)
+                            }
+                        } else if insert {
+                            volatile.insert(k, k).is_none() as i128 * k as i128
+                        } else {
+                            -(volatile.delete(k).is_some() as i128 * k as i128)
+                        };
+                        net += delta;
+                    }
+                    net
+                }));
+            }
+            for h in handles {
+                net += h.join().unwrap();
+            }
+        });
+        let sum = if map_is_durable {
+            durable.key_sum()
+        } else {
+            volatile.key_sum()
+        };
+        assert_eq!(sum as i128, net, "key-sum validation (durable={map_is_durable})");
+    }
+    durable.check_invariants().unwrap();
+    volatile.check_invariants().unwrap();
+}
+
+#[test]
+fn typed_wrapper_over_registry_structures() {
+    let tree: TypedTree<i64, f64, ElimABTree> = TypedTree::default();
+    for i in -500..500i64 {
+        assert_eq!(tree.insert(i, i as f64 / 4.0), None);
+    }
+    assert_eq!(tree.get(-250), Some(-62.5));
+    assert_eq!(tree.remove(-250), Some(-62.5));
+    assert_eq!(tree.get(-250), None);
+    assert_eq!(tree.inner().len(), 999);
+}
+
+#[test]
+fn workload_generators_drive_real_structures() {
+    use rand::prelude::*;
+    let tree: ElimABTree = ElimABTree::new();
+    let dist = KeyDistribution::zipfian(10_000, 1.0);
+    let mix = OperationMix::from_update_percent(50);
+    let mut rng = StdRng::seed_from_u64(0);
+    for _ in 0..50_000 {
+        let k = dist.sample(&mut rng);
+        match mix.sample(&mut rng) {
+            elim_abtree_repro::workload::Operation::Insert => {
+                tree.insert(k, k);
+            }
+            elim_abtree_repro::workload::Operation::Delete => {
+                tree.delete(k);
+            }
+            elim_abtree_repro::workload::Operation::Find => {
+                tree.get(k);
+            }
+        }
+    }
+    tree.check_invariants().unwrap();
+}
