@@ -45,7 +45,7 @@ impl SeqVersion {
     /// Returns `true` if `v` denotes a stable (not-being-modified) state.
     #[inline]
     pub fn is_stable(v: u64) -> bool {
-        v % 2 == 0
+        v.is_multiple_of(2)
     }
 
     /// Begins a write: bumps the version to an odd value.  Must only be
@@ -182,13 +182,19 @@ mod tests {
                 Arc::clone(&stop),
             );
             readers.push(std::thread::spawn(move || {
+                // Check the stop flag only after at least one read, so a
+                // writer that finishes before this thread is scheduled
+                // cannot make `checked` end up zero.
                 let mut checked = 0u64;
-                while stop.load(Ordering::Acquire) == 0 {
+                loop {
                     let ((x, y), _v) = ver.optimistic_read(|| {
                         (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed))
                     });
                     assert_eq!(y, x.wrapping_mul(3), "torn read observed");
                     checked += 1;
+                    if stop.load(Ordering::Acquire) != 0 {
+                        break;
+                    }
                 }
                 checked
             }));

@@ -74,6 +74,10 @@ pub const MIN_KEYS: usize = 2;
 /// Reserved sentinel meaning "empty slot"; user keys must be smaller.
 pub const EMPTY_KEY: u64 = u64::MAX;
 
+// (a,b)-trees require 2 <= a <= b/2 so that splits/merges stay in bounds;
+// enforced at compile time.
+const _: () = assert!(MIN_KEYS >= 2 && MIN_KEYS <= MAX_KEYS / 2);
+
 pub use persist::{Persist, VolatilePersist};
 pub use tree::AbTree;
 pub use typed::{KeyCodec, TypedTree, ValueCodec};
@@ -91,14 +95,18 @@ pub type ElimABTree<L = McsLock> = AbTree<true, L, VolatilePersist>;
 /// structure in this repository (the paper's trees, the persistent trees and
 /// all baselines) implements it.  Semantics follow the paper's §3:
 ///
-/// * `insert(k, v)` returns the *existing* value if `k` was already present
-///   (in which case the tree is unchanged) and `None` if the pair was
-///   inserted;
+/// * **`insert(k, v)` rejects rather than replaces**: it returns the
+///   *existing* value if `k` was already present — in which case the map is
+///   left completely unchanged (first-writer-wins, the paper's
+///   `insertIfAbsent`) — and `None` if the pair was inserted.  The
+///   elimination records of §4 linearize same-key operations against each
+///   other under exactly these semantics, so every structure driven by the
+///   harness must implement them;
 /// * `delete(k)` returns the removed value, or `None` if `k` was absent;
 /// * `get(k)` returns the current value associated with `k`, if any.
 pub trait ConcurrentMap: Send + Sync {
     /// Inserts `key -> value` if `key` is absent; returns the existing value
-    /// (leaving it unchanged) otherwise.
+    /// (leaving it **unchanged** — insert never overwrites) otherwise.
     fn insert(&self, key: u64, value: u64) -> Option<u64>;
 
     /// Removes `key`, returning its value if it was present.
@@ -116,16 +124,23 @@ pub trait ConcurrentMap: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// A map that can report the sum of its keys, the accessor behind the
+/// harness's checksum validation (paper §6 "Validation": the keys each
+/// thread successfully inserted minus those it deleted must equal the keys
+/// left in the structure).
+///
+/// Implementing this trait (plus [`ConcurrentMap`]) is all a structure needs
+/// to be benchmarkable: the `setbench` registry provides a blanket
+/// `Benchable` implementation for every `ConcurrentMap + KeySum` type.
+pub trait KeySum {
+    /// Sum of all keys currently stored.  Quiescent only: callers must
+    /// ensure no concurrent operations are in flight.
+    fn key_sum(&self) -> u128;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn constants_form_a_valid_ab_tree() {
-        // (a,b)-trees require a <= b/2 so that splits/merges stay in bounds.
-        assert!(MIN_KEYS <= MAX_KEYS / 2);
-        assert!(MIN_KEYS >= 2);
-    }
 
     #[test]
     fn type_aliases_compile_and_work() {

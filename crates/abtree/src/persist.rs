@@ -77,6 +77,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // asserts the policy's const
     fn volatile_policy_is_marked_not_durable() {
         assert!(!VolatilePersist::DURABLE);
         assert_eq!(VolatilePersist::policy_name(), "volatile");

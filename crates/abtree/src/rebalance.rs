@@ -149,8 +149,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
             }
             debug_assert_eq!(comb_keys.len() + 1, comb_children.len());
 
-            let result;
-            if comb_children.len() <= MAX_KEYS {
+            let result = if comb_children.len() <= MAX_KEYS {
                 // Merge case (paper Fig. 3 step 5): absorb the tagged node
                 // into a copy of its parent.
                 let new_node = Node::into_raw(Node::new_internal_from(
@@ -161,7 +160,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 ));
                 self.persist_new_nodes(&[new_node]);
                 self.link_child(gparent, path.p_idx, new_node);
-                result = None;
+                None
             } else {
                 // Split case (paper Fig. 6): the combined node would be too
                 // large, so split it into two and push the imbalance up.
@@ -193,12 +192,12 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 ));
                 self.persist_new_nodes(&[left, right, top]);
                 self.link_child(gparent, path.p_idx, top);
-                result = if top_kind == NodeKind::TaggedInternal {
+                if top_kind == NodeKind::TaggedInternal {
                     Some(top)
                 } else {
                     None
-                };
-            }
+                }
+            };
 
             unlock_nodes!((gparent, gp_tok), (parent, p_tok), (node, node_tok));
             // SAFETY: both nodes were just unlinked (marked + replaced).

@@ -293,57 +293,6 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> std::fmt::Debug for AbTree<EL
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::{ElimABTree, OccABTree};
-
-    #[test]
-    fn empty_tree_finds_nothing() {
-        let t: OccABTree = OccABTree::new();
-        assert_eq!(t.get(1), None);
-        assert!(!t.contains(42));
-    }
-
-    #[test]
-    fn search_reaches_the_single_leaf() {
-        let t: OccABTree = OccABTree::new();
-        let guard = t.collector().pin();
-        let path = t.search(5, std::ptr::null_mut(), &guard);
-        assert!(!path.n.is_null());
-        assert_eq!(path.p, t.entry_ptr());
-        assert!(path.gp.is_null());
-        let leaf = unsafe { t.deref(path.n, &guard) };
-        assert!(leaf.is_leaf());
-        assert_eq!(leaf.len(), 0);
-    }
-
-    #[test]
-    fn elim_flag_reporting() {
-        let occ: OccABTree = OccABTree::new();
-        let elim: ElimABTree = ElimABTree::new();
-        assert!(!occ.uses_elimination());
-        assert!(elim.uses_elimination());
-        assert_eq!(ConcurrentMap::name(&occ), "occ-abtree");
-        assert_eq!(ConcurrentMap::name(&elim), "elim-abtree");
-    }
-
-    #[test]
-    fn debug_format_mentions_lock() {
-        let occ: OccABTree = OccABTree::new();
-        let s = format!("{occ:?}");
-        assert!(s.contains("mcs"));
-    }
-
-    #[test]
-    fn node_kind_is_public_enough_for_tests() {
-        use crate::node::NodeKind;
-        // NodeKind is crate-visible; make sure variants exist.
-        let k = NodeKind::TaggedInternal;
-        assert_ne!(k, NodeKind::Leaf);
-    }
-}
-
 /// Persistence plumbing shared by the volatile and durable instantiations.
 ///
 /// With the [`VolatilePersist`] policy every branch below folds to the plain
@@ -459,5 +408,56 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
         if P::DURABLE {
             P::fence();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElimABTree, OccABTree};
+
+    #[test]
+    fn empty_tree_finds_nothing() {
+        let t: OccABTree = OccABTree::new();
+        assert_eq!(t.get(1), None);
+        assert!(!t.contains(42));
+    }
+
+    #[test]
+    fn search_reaches_the_single_leaf() {
+        let t: OccABTree = OccABTree::new();
+        let guard = t.collector().pin();
+        let path = t.search(5, std::ptr::null_mut(), &guard);
+        assert!(!path.n.is_null());
+        assert_eq!(path.p, t.entry_ptr());
+        assert!(path.gp.is_null());
+        let leaf = unsafe { t.deref(path.n, &guard) };
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.len(), 0);
+    }
+
+    #[test]
+    fn elim_flag_reporting() {
+        let occ: OccABTree = OccABTree::new();
+        let elim: ElimABTree = ElimABTree::new();
+        assert!(!occ.uses_elimination());
+        assert!(elim.uses_elimination());
+        assert_eq!(ConcurrentMap::name(&occ), "occ-abtree");
+        assert_eq!(ConcurrentMap::name(&elim), "elim-abtree");
+    }
+
+    #[test]
+    fn debug_format_mentions_lock() {
+        let occ: OccABTree = OccABTree::new();
+        let s = format!("{occ:?}");
+        assert!(s.contains("mcs"));
+    }
+
+    #[test]
+    fn node_kind_is_public_enough_for_tests() {
+        use crate::node::NodeKind;
+        // NodeKind is crate-visible; make sure variants exist.
+        let k = NodeKind::TaggedInternal;
+        assert_ne!(k, NodeKind::Leaf);
     }
 }

@@ -78,7 +78,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 let rec = leaf.read_record();
                 fence(Ordering::Acquire);
                 let v2 = leaf.ver.load(Ordering::Relaxed);
-                if v1 % 2 == 0 && v1 == v2 {
+                if v1.is_multiple_of(2) && v1 == v2 {
                     break rec;
                 }
                 core::hint::spin_loop();

@@ -171,7 +171,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
             return Err(format!("reachable node is marked: {node:?}"));
         }
         let in_range = |k: u64| k >= lo && (hi == EMPTY_KEY || k < hi);
-        if !in_range(node.search_key) && !(is_root && node.is_leaf()) {
+        if !(in_range(node.search_key) || (is_root && node.is_leaf())) {
             // The initial root leaf's search_key (0) is always in range since
             // lo starts at 0; other nodes must honour their range.
             return Err(format!(
@@ -214,7 +214,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
             }
             NodeKind::Internal | NodeKind::TaggedInternal => {
                 let size = node.len();
-                if size < 1 || size > MAX_KEYS {
+                if !(1..=MAX_KEYS).contains(&size) {
                     return Err(format!("internal node with invalid size {size}"));
                 }
                 if node.kind == NodeKind::TaggedInternal && size != 2 {
@@ -252,6 +252,12 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 Ok(())
             }
         }
+    }
+}
+
+impl<const ELIM: bool, L: RawNodeLock, P: Persist> crate::KeySum for AbTree<ELIM, L, P> {
+    fn key_sum(&self) -> u128 {
+        AbTree::key_sum(self)
     }
 }
 
@@ -295,8 +301,7 @@ mod tests {
         for _ in 0..20_000 {
             let k = rng.gen_range(0..500u64);
             if rng.gen_bool(0.5) {
-                let expected = oracle.insert(k, k).map(|v| v as u64);
-                let expected = match expected {
+                let expected = match oracle.insert(k, k) {
                     // Our insert does not overwrite; put the old value back.
                     Some(old) => {
                         oracle.insert(k, old);

@@ -1,128 +1,173 @@
-//! Property-based tests: the trees must behave exactly like a sequential
+//! Randomized oracle tests: the trees must behave exactly like a sequential
 //! ordered map for any sequence of operations, and their structural
 //! invariants must hold after any such sequence.
+//!
+//! These were originally `proptest` properties; the offline build cannot use
+//! the `proptest` crate, so the same properties are driven by seeded
+//! pseudo-random workloads (64 cases each, like the original
+//! `ProptestConfig::with_cases(64)`).  Every failure message includes the
+//! case seed, so a failing workload can be replayed deterministically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use abtree::{ElimABTree, OccABTree};
-use proptest::prelude::*;
+use abtree::{ConcurrentMap, ElimABTree, OccABTree};
+use rand::prelude::*;
+
+const CASES: u64 = 64;
 
 /// An operation in a generated workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Insert(u64, u64),
     Delete(u64),
     Get(u64),
 }
 
-fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0..key_space).prop_map(Op::Delete),
-        (0..key_space).prop_map(Op::Get),
-    ]
+fn random_ops(rng: &mut StdRng, key_space: u64, max_len: usize) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|_| {
+            let k = rng.gen_range(0..key_space);
+            match rng.gen_range(0..3u32) {
+                0 => Op::Insert(k, rng.gen::<u64>()),
+                1 => Op::Delete(k),
+                _ => Op::Get(k),
+            }
+        })
+        .collect()
 }
 
 /// Applies `ops` to both the tree under test and a `BTreeMap` oracle,
 /// asserting identical observable behaviour, then checks invariants.
-macro_rules! oracle_test {
-    ($tree:expr, $ops:expr) => {{
-        let tree = $tree;
-        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in $ops {
-            match *op {
-                Op::Insert(k, v) => {
-                    let expected = match oracle.get(&k) {
-                        Some(&old) => Some(old),
-                        None => {
-                            oracle.insert(k, v);
-                            None
-                        }
-                    };
-                    prop_assert_eq!(tree.insert(k, v), expected, "insert({}, {})", k, v);
-                }
-                Op::Delete(k) => {
-                    let expected = oracle.remove(&k);
-                    prop_assert_eq!(tree.delete(k), expected, "delete({})", k);
-                }
-                Op::Get(k) => {
-                    let expected = oracle.get(&k).copied();
-                    prop_assert_eq!(tree.get(k), expected, "get({})", k);
-                }
+fn oracle_test<M>(tree: &M, ops: &[Op], collect: impl Fn(&M) -> Vec<(u64, u64)>, seed: u64)
+where
+    M: ConcurrentMap,
+{
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expected = match oracle.get(&k) {
+                    Some(&old) => Some(old),
+                    None => {
+                        oracle.insert(k, v);
+                        None
+                    }
+                };
+                assert_eq!(tree.insert(k, v), expected, "insert({k}, {v}) [seed {seed}]");
+            }
+            Op::Delete(k) => {
+                let expected = oracle.remove(&k);
+                assert_eq!(tree.delete(k), expected, "delete({k}) [seed {seed}]");
+            }
+            Op::Get(k) => {
+                let expected = oracle.get(&k).copied();
+                assert_eq!(tree.get(k), expected, "get({k}) [seed {seed}]");
             }
         }
-        prop_assert!(tree.check_invariants().is_ok(), "invariants violated");
-        let collected = tree.collect();
-        let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
-        prop_assert_eq!(collected, expected, "final contents differ from oracle");
-    }};
+    }
+    let collected = collect(tree);
+    let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
+    assert_eq!(collected, expected, "final contents differ from oracle [seed {seed}]");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Small key space: lots of duplicate inserts/deletes of the same key,
-    /// exercising the "already present"/"already absent" paths and the
-    /// elimination record logic.
-    #[test]
-    fn occ_matches_btreemap_small_keyspace(ops in proptest::collection::vec(op_strategy(32), 1..600)) {
+/// Small key space: lots of duplicate inserts/deletes of the same key,
+/// exercising the "already present"/"already absent" paths and the
+/// elimination record logic.
+#[test]
+fn occ_matches_btreemap_small_keyspace() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0CC_0001 ^ seed);
+        let ops = random_ops(&mut rng, 32, 600);
         let tree: OccABTree = OccABTree::new();
-        oracle_test!(&tree, ops.iter());
+        oracle_test(&tree, &ops, |t| t.collect(), seed);
+        tree.check_invariants().unwrap_or_else(|e| panic!("invariants [seed {seed}]: {e:?}"));
     }
+}
 
-    #[test]
-    fn elim_matches_btreemap_small_keyspace(ops in proptest::collection::vec(op_strategy(32), 1..600)) {
+#[test]
+fn elim_matches_btreemap_small_keyspace() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE11_0001 ^ seed);
+        let ops = random_ops(&mut rng, 32, 600);
         let tree: ElimABTree = ElimABTree::new();
-        oracle_test!(&tree, ops.iter());
+        oracle_test(&tree, &ops, |t| t.collect(), seed);
+        tree.check_invariants().unwrap_or_else(|e| panic!("invariants [seed {seed}]: {e:?}"));
     }
+}
 
-    /// Larger key space: the tree grows several levels, exercising splitting
-    /// inserts, fixTagged and fixUnderfull along random shapes.
-    #[test]
-    fn occ_matches_btreemap_large_keyspace(ops in proptest::collection::vec(op_strategy(10_000), 1..1_000)) {
+/// Larger key space: the tree grows several levels, exercising splitting
+/// inserts, fixTagged and fixUnderfull along random shapes.
+#[test]
+fn occ_matches_btreemap_large_keyspace() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0CC_0002 ^ seed);
+        let ops = random_ops(&mut rng, 10_000, 1_000);
         let tree: OccABTree = OccABTree::new();
-        oracle_test!(&tree, ops.iter());
+        oracle_test(&tree, &ops, |t| t.collect(), seed);
+        tree.check_invariants().unwrap_or_else(|e| panic!("invariants [seed {seed}]: {e:?}"));
     }
+}
 
-    #[test]
-    fn elim_matches_btreemap_large_keyspace(ops in proptest::collection::vec(op_strategy(10_000), 1..1_000)) {
+#[test]
+fn elim_matches_btreemap_large_keyspace() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xE11_0002 ^ seed);
+        let ops = random_ops(&mut rng, 10_000, 1_000);
         let tree: ElimABTree = ElimABTree::new();
-        oracle_test!(&tree, ops.iter());
+        oracle_test(&tree, &ops, |t| t.collect(), seed);
+        tree.check_invariants().unwrap_or_else(|e| panic!("invariants [seed {seed}]: {e:?}"));
     }
+}
 
-    /// Insert-then-delete-everything must always return to an empty tree with
-    /// a single root leaf.
-    #[test]
-    fn insert_all_delete_all_returns_to_empty(keys in proptest::collection::btree_set(0u64..100_000, 1..800)) {
+/// Insert-then-delete-everything must always return to an empty tree with
+/// a single root leaf.
+#[test]
+fn insert_all_delete_all_returns_to_empty() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xDE1_0003 ^ seed);
+        let len = rng.gen_range(1..800usize);
+        let keys: BTreeSet<u64> = (0..len).map(|_| rng.gen_range(0..100_000u64)).collect();
+
         let tree: ElimABTree = ElimABTree::new();
         for &k in &keys {
-            prop_assert_eq!(tree.insert(k, k ^ 0xdead), None);
+            assert_eq!(tree.insert(k, k ^ 0xdead), None, "[seed {seed}]");
         }
-        prop_assert_eq!(tree.len(), keys.len());
-        prop_assert!(tree.check_invariants().is_ok());
+        assert_eq!(tree.len(), keys.len(), "[seed {seed}]");
+        assert!(tree.check_invariants().is_ok(), "[seed {seed}]");
         for &k in &keys {
-            prop_assert_eq!(tree.delete(k), Some(k ^ 0xdead));
+            assert_eq!(tree.delete(k), Some(k ^ 0xdead), "[seed {seed}]");
         }
-        prop_assert!(tree.is_empty());
-        prop_assert!(tree.check_invariants().is_ok());
+        assert!(tree.is_empty(), "[seed {seed}]");
+        assert!(tree.check_invariants().is_ok(), "[seed {seed}]");
         let stats = tree.stats();
-        prop_assert_eq!(stats.height, 1);
-        prop_assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.height, 1, "[seed {seed}]");
+        assert_eq!(stats.leaves, 1, "[seed {seed}]");
     }
+}
 
-    /// The key-sum validation used by the benchmark harness agrees with the
-    /// actual contents for arbitrary workloads.
-    #[test]
-    fn key_sum_matches_contents(ops in proptest::collection::vec(op_strategy(4_000), 1..800)) {
+/// The key-sum validation used by the benchmark harness agrees with the
+/// actual contents for arbitrary workloads.
+#[test]
+fn key_sum_matches_contents() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5F3_0004 ^ seed);
+        let ops = random_ops(&mut rng, 4_000, 800);
         let tree: OccABTree = OccABTree::new();
         for op in &ops {
             match *op {
-                Op::Insert(k, v) => { tree.insert(k, v); }
-                Op::Delete(k) => { tree.delete(k); }
-                Op::Get(k) => { tree.get(k); }
+                Op::Insert(k, v) => {
+                    tree.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    tree.delete(k);
+                }
+                Op::Get(k) => {
+                    tree.get(k);
+                }
             }
         }
         let expected: u128 = tree.collect().iter().map(|&(k, _)| k as u128).sum();
-        prop_assert_eq!(tree.key_sum(), expected);
+        assert_eq!(tree.key_sum(), expected, "[seed {seed}]");
     }
 }

@@ -39,7 +39,7 @@ fn update_height(n: &mut Box<AvlNode>) {
     n.height = 1 + height(&n.left).max(height(&n.right));
 }
 
-fn balance_factor(n: &Box<AvlNode>) -> i32 {
+fn balance_factor(n: &AvlNode) -> i32 {
     height(&n.left) - height(&n.right)
 }
 

@@ -244,6 +244,12 @@ impl Drop for CowABTree {
     }
 }
 
+impl abtree::KeySum for CowABTree {
+    fn key_sum(&self) -> u128 {
+        CowABTree::key_sum(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -278,6 +278,12 @@ impl Drop for LockExtBst {
     }
 }
 
+impl abtree::KeySum for LockExtBst {
+    fn key_sum(&self) -> u128 {
+        LockExtBst::key_sum(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,12 +56,8 @@ impl FpLeafData {
     /// Scans fingerprints first (the FPTree's key optimization), confirming
     /// on the full key only when the fingerprint matches.
     fn find(&self, key: u64, fp: u8) -> Option<usize> {
-        for i in 0..LEAF_CAP {
-            if self.bitmap & (1 << i) != 0 && self.fingerprints[i] == fp && self.keys[i] == key {
-                return Some(i);
-            }
-        }
-        None
+        (0..LEAF_CAP)
+            .find(|&i| self.bitmap & (1 << i) != 0 && self.fingerprints[i] == fp && self.keys[i] == key)
     }
 
     fn free_slot(&self) -> Option<usize> {
@@ -240,6 +236,12 @@ impl ConcurrentMap for FpTree {
 
     fn name(&self) -> &'static str {
         "fptree"
+    }
+}
+
+impl abtree::KeySum for FpTree {
+    fn key_sum(&self) -> u128 {
+        FpTree::key_sum(self)
     }
 }
 

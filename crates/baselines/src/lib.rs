@@ -50,8 +50,14 @@ mod tests {
 
     fn smoke<M: ConcurrentMap>(map: M) {
         assert_eq!(map.insert(5, 50), None);
+        // `ConcurrentMap::insert` is insert-if-absent (first-writer-wins,
+        // the paper's `insertIfAbsent`): inserting a present key returns the
+        // existing value and must leave the map completely unchanged.  The
+        // rejected value 51 is never observable — not via get, not via a
+        // repeated insert, not via delete.
         assert_eq!(map.insert(5, 51), Some(50));
         assert_eq!(map.get(5), Some(50));
+        assert_eq!(map.insert(5, 52), Some(50));
         assert_eq!(map.delete(5), Some(50));
         assert_eq!(map.get(5), None);
         assert_eq!(map.delete(5), None);

@@ -196,9 +196,7 @@ impl ConcurrentMap for LazySkipList {
             let mut guards = Vec::with_capacity(top_level);
             let mut valid = true;
             let mut last_locked: *mut SkipNode = ptr::null_mut();
-            for level in 0..top_level {
-                let pred = preds[level];
-                let succ = succs[level];
+            for (level, (&pred, &succ)) in preds.iter().zip(&succs).enumerate().take(top_level) {
                 if pred != last_locked {
                     // SAFETY: protected by the pinned epoch.
                     guards.push(unsafe { &*pred }.lock.lock());
@@ -223,11 +221,11 @@ impl ConcurrentMap for LazySkipList {
             let node = SkipNode::new(key, value, top_level);
             // SAFETY: freshly allocated node; preds are locked and validated.
             unsafe {
-                for level in 0..top_level {
-                    (*node).next[level].store(succs[level], Ordering::Release);
+                for (level, &succ) in succs.iter().enumerate().take(top_level) {
+                    (*node).next[level].store(succ, Ordering::Release);
                 }
-                for level in 0..top_level {
-                    (*preds[level]).next[level].store(node, Ordering::Release);
+                for (level, &pred) in preds.iter().enumerate().take(top_level) {
+                    (*pred).next[level].store(node, Ordering::Release);
                 }
                 (*node).fully_linked.store(true, Ordering::Release);
             }
@@ -279,8 +277,7 @@ impl ConcurrentMap for LazySkipList {
             let mut guards = Vec::with_capacity(top_level);
             let mut valid = true;
             let mut last_locked: *mut SkipNode = ptr::null_mut();
-            for level in 0..top_level {
-                let pred = preds[level];
+            for (level, &pred) in preds.iter().enumerate().take(top_level) {
                 if pred != last_locked {
                     // SAFETY: protected by the pinned epoch.
                     guards.push(unsafe { &*pred }.lock.lock());
@@ -335,6 +332,12 @@ impl Drop for LazySkipList {
             }
             cur = node.next[0].load(Ordering::Relaxed);
         }
+    }
+}
+
+impl abtree::KeySum for LazySkipList {
+    fn key_sum(&self) -> u128 {
+        LazySkipList::key_sum(self)
     }
 }
 

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     configure(&mut group);
     group.throughput(Throughput::Elements(OPS_PER_BATCH));
     for &zipf in &[0.0, 1.0] {
-        for structure in setbench::PERSISTENT_STRUCTURES {
+        for structure in setbench::persistent_structures() {
             for &threads in &bench_threads() {
                 let instance = MicrobenchInstance::new(MicrobenchConfig {
                     structure: structure.to_string(),

@@ -31,7 +31,7 @@ pub fn full_grid() -> bool {
 /// competitor); the full grid covers every registered structure.
 pub fn bench_structures() -> Vec<&'static str> {
     if full_grid() {
-        setbench::VOLATILE_STRUCTURES.to_vec()
+        setbench::volatile_structures()
     } else {
         vec!["elim-abtree", "occ-abtree", "catree"]
     }

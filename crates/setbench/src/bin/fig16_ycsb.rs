@@ -8,13 +8,13 @@
 
 use std::time::Duration;
 
-use setbench::{default_thread_counts, run_ycsb_figure, VOLATILE_STRUCTURES};
+use setbench::{default_thread_counts, run_ycsb_figure, volatile_structures};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000_000);
     let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
-    let structures: Vec<String> = VOLATILE_STRUCTURES.iter().map(|s| s.to_string()).collect();
+    let structures: Vec<String> = volatile_structures().iter().map(|s| s.to_string()).collect();
     let results = run_ycsb_figure(
         records,
         &default_thread_counts(),

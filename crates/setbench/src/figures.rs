@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use crate::harness::{run_microbench, run_ycsb, MicrobenchConfig, YcsbConfig};
-use crate::registry::{PERSISTENT_STRUCTURES, VOLATILE_STRUCTURES};
+use crate::registry::{persistent_structures, volatile_structures};
 use crate::report::{print_figure_header, print_result_row, BenchResult};
 
 /// Default thread counts for scaling sweeps on this machine: 1, 2, 4, ...,
@@ -61,7 +61,7 @@ impl FigureParams {
             update_percents: vec![100, 50, 20, 5],
             threads: default_thread_counts(),
             duration,
-            structures: VOLATILE_STRUCTURES.iter().map(|s| s.to_string()).collect(),
+            structures: volatile_structures().iter().map(|s| s.to_string()).collect(),
         }
     }
 }
@@ -157,7 +157,7 @@ pub fn run_persistence_figure(
                 if zipf == 0.0 { "uniform" } else { "Zipf(1)" }
             ),
         );
-        for structure in PERSISTENT_STRUCTURES {
+        for structure in persistent_structures() {
             for &t in threads {
                 let cfg = MicrobenchConfig {
                     structure: structure.to_string(),

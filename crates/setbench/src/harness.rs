@@ -115,7 +115,6 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
             let map = Arc::clone(&map);
             let stop = Arc::clone(&stop);
             let dist = dist.clone();
-            let mix = mix;
             let seed = cfg.seed;
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + 31 * t as u64));

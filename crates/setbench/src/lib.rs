@@ -27,7 +27,10 @@ pub use figures::{
 pub use harness::{
     run_microbench, run_ycsb, MicrobenchConfig, MicrobenchInstance, YcsbConfig, YcsbInstance,
 };
-pub use registry::{make_structure, structure_names, Benchable, PERSISTENT_STRUCTURES, VOLATILE_STRUCTURES};
+pub use registry::{
+    descriptor, make_structure, names_in, persistent_structures, structure_names,
+    volatile_structures, Benchable, StructureCategory, StructureDescriptor, STRUCTURES,
+};
 pub use report::{print_figure_header, print_result_row, BenchResult};
 
 #[cfg(test)]

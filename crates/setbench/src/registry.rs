@@ -1,104 +1,154 @@
 //! Registry of benchmarkable data structures.
 //!
 //! Every structure in this repository is driven through the [`Benchable`]
-//! trait, which extends [`abtree::ConcurrentMap`] with the key-sum accessor
-//! used by the harness's validation step (paper §6 "Validation").
+//! trait, which is implemented *blanket-wise* for anything that is both an
+//! [`abtree::ConcurrentMap`] and an [`abtree::KeySum`] (the key-sum accessor
+//! used by the harness's validation step, paper §6 "Validation").
+//!
+//! The registry itself is a single data-driven table: one
+//! [`StructureDescriptor`] per structure, carrying its name, its
+//! volatile/persistent category and a factory function.  Everything else —
+//! [`structure_names`], [`make_structure`], the harness, the figure drivers
+//! and the Criterion benches — iterates this table.  **Registering a new
+//! structure therefore means adding exactly one descriptor line below**
+//! (plus `impl abtree::KeySum` next to the structure itself if it does not
+//! already have one).
 
-use abtree::{ConcurrentMap, ElimABTree, OccABTree};
+use abtree::{ConcurrentMap, ElimABTree, KeySum, OccABTree};
 use baselines::{CaTree, CowABTree, FpTree, LazySkipList, LockExtBst};
 use pabtree::{PElimABTree, POccABTree};
 
 /// A concurrent map that can also report the sum of its keys for validation.
-pub trait Benchable: ConcurrentMap {
-    /// Sum of all keys currently stored (quiescent only).
-    fn key_sum(&self) -> u128;
+///
+/// Implemented automatically for every `ConcurrentMap + KeySum` type; do not
+/// implement it by hand.
+pub trait Benchable: ConcurrentMap + KeySum {}
+
+impl<T: ConcurrentMap + KeySum + ?Sized> Benchable for T {}
+
+/// Whether a structure's contents survive a crash (drives which figures it
+/// appears in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureCategory {
+    /// DRAM-only structure, compared in Figures 12-16.
+    Volatile,
+    /// Durably linearizable structure on the persistent-memory model,
+    /// compared in Figure 17 and Table 1.
+    Persistent,
 }
 
-impl Benchable for OccABTree {
-    fn key_sum(&self) -> u128 {
-        OccABTree::key_sum(self)
-    }
+/// One registered data structure: the single source of truth for its
+/// benchmark name, category, and construction.
+pub struct StructureDescriptor {
+    /// Registry name, matching `ConcurrentMap::name()` of the built value.
+    pub name: &'static str,
+    /// Volatile or persistent.
+    pub category: StructureCategory,
+    /// Builds a fresh, empty instance.
+    pub factory: fn() -> Box<dyn Benchable>,
 }
-impl Benchable for ElimABTree {
-    fn key_sum(&self) -> u128 {
-        ElimABTree::key_sum(self)
-    }
+
+use StructureCategory::{Persistent, Volatile};
+
+/// Factory helper: builds a default instance of `T` behind the trait object.
+/// Turbofishing the concrete type pins generic defaults (e.g. the MCS lock),
+/// which a bare closure would leave unconstrained.
+fn boxed<T: Benchable + Default + 'static>() -> Box<dyn Benchable> {
+    Box::new(T::default())
 }
-impl Benchable for POccABTree {
-    fn key_sum(&self) -> u128 {
-        POccABTree::key_sum(self)
-    }
+
+/// The descriptor table.  Order is presentation order in the figures:
+/// volatile structures first (Figures 12-16), then the persistent ones
+/// (Figure 17, Table 1).
+pub static STRUCTURES: &[StructureDescriptor] = &[
+    StructureDescriptor {
+        name: "elim-abtree",
+        category: Volatile,
+        factory: boxed::<ElimABTree>,
+    },
+    StructureDescriptor {
+        name: "occ-abtree",
+        category: Volatile,
+        factory: boxed::<OccABTree>,
+    },
+    StructureDescriptor {
+        name: "catree",
+        category: Volatile,
+        factory: boxed::<CaTree>,
+    },
+    StructureDescriptor {
+        name: "lf-abtree(cow)",
+        category: Volatile,
+        factory: boxed::<CowABTree>,
+    },
+    StructureDescriptor {
+        name: "ext-bst-lock",
+        category: Volatile,
+        factory: boxed::<LockExtBst>,
+    },
+    StructureDescriptor {
+        name: "skiplist-lazy",
+        category: Volatile,
+        factory: boxed::<LazySkipList>,
+    },
+    StructureDescriptor {
+        name: "p-elim-abtree",
+        category: Persistent,
+        factory: boxed::<PElimABTree>,
+    },
+    StructureDescriptor {
+        name: "p-occ-abtree",
+        category: Persistent,
+        factory: boxed::<POccABTree>,
+    },
+    StructureDescriptor {
+        name: "fptree",
+        category: Persistent,
+        factory: boxed::<FpTree>,
+    },
+];
+
+/// Every structure name known to the registry, in table order.
+pub fn structure_names() -> Vec<&'static str> {
+    STRUCTURES.iter().map(|d| d.name).collect()
 }
-impl Benchable for PElimABTree {
-    fn key_sum(&self) -> u128 {
-        PElimABTree::key_sum(self)
-    }
-}
-impl Benchable for CaTree {
-    fn key_sum(&self) -> u128 {
-        CaTree::key_sum(self)
-    }
-}
-impl Benchable for LockExtBst {
-    fn key_sum(&self) -> u128 {
-        LockExtBst::key_sum(self)
-    }
-}
-impl Benchable for CowABTree {
-    fn key_sum(&self) -> u128 {
-        CowABTree::key_sum(self)
-    }
-}
-impl Benchable for FpTree {
-    fn key_sum(&self) -> u128 {
-        FpTree::key_sum(self)
-    }
-}
-impl Benchable for LazySkipList {
-    fn key_sum(&self) -> u128 {
-        LazySkipList::key_sum(self)
-    }
+
+/// Names of the structures in `category`, in table order.
+pub fn names_in(category: StructureCategory) -> Vec<&'static str> {
+    STRUCTURES
+        .iter()
+        .filter(|d| d.category == category)
+        .map(|d| d.name)
+        .collect()
 }
 
 /// Volatile structures compared in Figures 12-16.
-pub const VOLATILE_STRUCTURES: &[&str] = &[
-    "elim-abtree",
-    "occ-abtree",
-    "catree",
-    "lf-abtree(cow)",
-    "ext-bst-lock",
-    "skiplist-lazy",
-];
+pub fn volatile_structures() -> Vec<&'static str> {
+    names_in(Volatile)
+}
 
 /// Persistent structures compared in Figure 17 and Table 1.
-pub const PERSISTENT_STRUCTURES: &[&str] = &["p-elim-abtree", "p-occ-abtree", "fptree"];
+pub fn persistent_structures() -> Vec<&'static str> {
+    names_in(Persistent)
+}
 
-/// Every structure name known to the registry.
-pub fn structure_names() -> Vec<&'static str> {
-    let mut v = VOLATILE_STRUCTURES.to_vec();
-    v.extend_from_slice(PERSISTENT_STRUCTURES);
-    v
+/// Looks up the descriptor registered under `name`.
+pub fn descriptor(name: &str) -> Option<&'static StructureDescriptor> {
+    STRUCTURES.iter().find(|d| d.name == name)
 }
 
 /// Instantiates a structure by name.  Panics on unknown names.
 pub fn make_structure(name: &str) -> Box<dyn Benchable> {
-    match name {
-        "occ-abtree" => Box::new(OccABTree::new()),
-        "elim-abtree" => Box::new(ElimABTree::new()),
-        "p-occ-abtree" => Box::new(POccABTree::new()),
-        "p-elim-abtree" => Box::new(PElimABTree::new()),
-        "catree" => Box::new(CaTree::new()),
-        "ext-bst-lock" => Box::new(LockExtBst::new()),
-        "skiplist-lazy" => Box::new(LazySkipList::new()),
-        "lf-abtree(cow)" => Box::new(CowABTree::new()),
-        "fptree" => Box::new(FpTree::new()),
-        other => panic!("unknown data structure: {other}"),
+    match descriptor(name) {
+        Some(d) => (d.factory)(),
+        None => panic!("unknown data structure: {name}"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn registry_builds_every_structure() {
@@ -108,5 +158,56 @@ mod tests {
             assert_eq!(s.get(1), Some(2));
             assert_eq!(s.name(), name);
         }
+    }
+
+    /// The round-trip property of the descriptor table: every name resolves
+    /// back to its own descriptor, constructs a structure reporting that
+    /// name, and names are unique.
+    #[test]
+    fn descriptor_table_round_trips() {
+        let mut seen = HashSet::new();
+        for d in STRUCTURES {
+            assert!(seen.insert(d.name), "duplicate registry name: {}", d.name);
+            let built = (d.factory)();
+            assert_eq!(
+                built.name(),
+                d.name,
+                "descriptor name and ConcurrentMap::name() disagree"
+            );
+            let via_lookup = make_structure(d.name);
+            assert_eq!(via_lookup.name(), d.name);
+            assert_eq!(
+                descriptor(d.name).unwrap().category,
+                d.category,
+                "descriptor lookup returned a different entry"
+            );
+        }
+        assert_eq!(seen.len(), STRUCTURES.len());
+    }
+
+    /// Volatile/persistent categorisation must match the split the figure
+    /// drivers rely on: fig17/table1 run exactly the persistent set, the
+    /// microbenchmark figures exactly the volatile set, and together they
+    /// partition the registry.
+    #[test]
+    fn categories_partition_the_registry() {
+        let volatile = volatile_structures();
+        let persistent = persistent_structures();
+        assert_eq!(
+            persistent,
+            vec!["p-elim-abtree", "p-occ-abtree", "fptree"],
+            "fig17/table1 persistent set changed"
+        );
+        assert_eq!(volatile.len() + persistent.len(), STRUCTURES.len());
+        let all: HashSet<_> = structure_names().into_iter().collect();
+        let split: HashSet<_> = volatile.iter().chain(persistent.iter()).copied().collect();
+        assert_eq!(all, split);
+        assert!(volatile.iter().all(|n| !persistent.contains(n)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no-such-tree")]
+    fn unknown_name_panics_with_message() {
+        make_structure("no-such-tree");
     }
 }

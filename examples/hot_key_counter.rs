@@ -21,7 +21,7 @@ fn churn<M: ConcurrentMap>(map: &Arc<M>, threads: usize, ops_per_thread: u64) ->
             scope.spawn(move || {
                 for i in 0..ops_per_thread {
                     let key = (i + t as u64) % hot_keys;
-                    if (i + t as u64) % 2 == 0 {
+                    if (i + t as u64).is_multiple_of(2) {
                         map.insert(key, i);
                     } else {
                         map.delete(key);

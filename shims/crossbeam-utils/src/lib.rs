@@ -1,0 +1,68 @@
+//! Offline shim for the subset of `crossbeam-utils` used by this workspace:
+//! [`CachePadded`].
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes to avoid false sharing.
+///
+/// Like the real `crossbeam_utils::CachePadded` on x86-64, the alignment is
+/// two cache lines because the adjacent-line hardware prefetcher effectively
+/// couples pairs of 64-byte lines.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line-aligned padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_access() {
+        let padded = CachePadded::new(7u64);
+        assert_eq!(*padded, 7);
+        assert_eq!(std::mem::align_of_val(&padded), 128);
+        assert_eq!(padded.into_inner(), 7);
+    }
+}

@@ -33,6 +33,33 @@ fn harness_validates_every_structure_under_skewed_update_heavy_load() {
 }
 
 #[test]
+fn descriptor_table_drives_harness_and_figures() {
+    use elim_abtree_repro::setbench::{
+        persistent_structures, volatile_structures, StructureCategory, STRUCTURES,
+    };
+    // Round-trip: every descriptor constructs through `make_structure`, and
+    // the built structure reports the registered name.
+    for d in STRUCTURES {
+        let s = make_structure(d.name);
+        assert_eq!(s.name(), d.name);
+    }
+    // Names are unique across the table.
+    let names = structure_names();
+    let unique: std::collections::HashSet<_> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "duplicate registry names");
+    // The category split matches what fig17/table1 (persistent set) and the
+    // microbenchmark figures (volatile set) iterate.
+    for d in STRUCTURES {
+        let persistent = persistent_structures().contains(&d.name);
+        let volatile = volatile_structures().contains(&d.name);
+        match d.category {
+            StructureCategory::Persistent => assert!(persistent && !volatile, "{}", d.name),
+            StructureCategory::Volatile => assert!(volatile && !persistent, "{}", d.name),
+        }
+    }
+}
+
+#[test]
 fn registry_and_direct_construction_agree() {
     let from_registry = make_structure("elim-abtree");
     let direct: ElimABTree = ElimABTree::new();
