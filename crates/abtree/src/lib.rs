@@ -56,6 +56,7 @@ pub mod crashsim;
 pub(crate) mod node;
 pub mod persist;
 pub mod rebalance;
+pub mod scan;
 pub mod tree;
 pub mod typed;
 pub mod update;
@@ -118,6 +119,43 @@ pub trait ConcurrentMap: Send + Sync {
     /// Returns `true` if `key` is present.
     fn contains(&self, key: u64) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Collects every `(key, value)` pair with `lo <= key <= hi` into `out`,
+    /// sorted by key (`out` is cleared first).  `lo > hi` yields an empty
+    /// result.
+    ///
+    /// The default implementation probes every key in the window with
+    /// [`get`](Self::get), so it costs `O(hi - lo)` point lookups and each
+    /// element is only individually (not jointly) linearizable.  Structures
+    /// with native scans override this with an ordered traversal; the
+    /// (a,b)-trees additionally validate node versions so the whole result is
+    /// a linearizable snapshot.  Callers should keep windows modest when the
+    /// fallback may be in use (the YCSB-E scan lengths are <= a few hundred).
+    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        if lo > hi {
+            return;
+        }
+        // EMPTY_KEY is reserved in every structure driven by the harness.
+        let hi = hi.min(EMPTY_KEY - 1);
+        for key in lo..=hi {
+            if let Some(value) = self.get(key) {
+                out.push((key, value));
+            }
+        }
+    }
+
+    /// Convenience wrapper over [`range`](Self::range): the number of keys
+    /// stored in the window `[lo, lo + len)`, the shape of a YCSB-E scan
+    /// request.
+    fn scan_len(&self, lo: u64, len: u64) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let mut out = Vec::new();
+        self.range(lo, lo.saturating_add(len - 1), &mut out);
+        out.len()
     }
 
     /// Short name used in benchmark output (e.g. `"elim-abtree"`).

@@ -86,8 +86,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                     &children,
                 ));
                 self.persist_new_nodes(&[new_root]);
-                self.link_child(parent, 0, new_root);
+                // Mark before unlinking (scan snapshot validation relies on
+                // "unmarked implies still reachable"; see `scan.rs`).
                 node.mark();
+                self.link_child(parent, 0, new_root);
                 unlock_nodes!((parent, p_tok), (node, node_tok));
                 // SAFETY: the old root was just unlinked and is never
                 // unlinked twice.
@@ -387,10 +389,11 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                     &pchildren,
                 ));
                 self.persist_new_nodes(&[new_left, new_right, new_parent]);
-                self.link_child(gparent, path.p_idx, new_parent);
+                // Mark before unlinking (see `scan.rs`).
                 node.mark();
                 sibling.mark();
                 parent.mark();
+                self.link_child(gparent, path.p_idx, new_parent);
                 unlock_nodes!(
                     (gparent, t_gparent),
                     (parent, t_parent),
@@ -426,10 +429,11 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
             if path.gp == self.entry_ptr() && parent.len() == 2 {
                 // The merged node becomes the new root (paper lines 174-177).
                 self.persist_new_nodes(&[merged_ptr]);
-                self.link_child(gparent, 0, merged_ptr);
+                // Mark before unlinking (see `scan.rs`).
                 node.mark();
                 sibling.mark();
                 parent.mark();
+                self.link_child(gparent, 0, merged_ptr);
                 unlock_nodes!(
                     (gparent, t_gparent),
                     (parent, t_parent),
@@ -456,10 +460,11 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 &pchildren,
             ));
             self.persist_new_nodes(&[merged_ptr, new_parent]);
-            self.link_child(gparent, path.p_idx, new_parent);
+            // Mark before unlinking (see `scan.rs`).
             node.mark();
             sibling.mark();
             parent.mark();
+            self.link_child(gparent, path.p_idx, new_parent);
             unlock_nodes!(
                 (gparent, t_gparent),
                 (parent, t_parent),

@@ -274,6 +274,12 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> ConcurrentMap for AbTree<ELIM
         AbTree::get(self, key)
     }
 
+    // `scan_len` keeps its trait default, which routes through this
+    // override.
+    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        AbTree::range(self, lo, hi, out)
+    }
+
     fn name(&self) -> &'static str {
         match (ELIM, P::DURABLE) {
             (false, false) => "occ-abtree",

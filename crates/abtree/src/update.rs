@@ -202,11 +202,14 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
 
         // Durable trees flush the new nodes before publishing the pointer.
         self.persist_new_nodes(&[left, right, tagged]);
+        // Mark before unlinking: range scans rely on "unmarked implies still
+        // reachable" when validating their snapshots (see `scan.rs`), so
+        // every node is marked before the pointer swing that unlinks it.
+        leaf.mark();
         // Linearization point of the splitting insert: the child-pointer
         // write makes the new subtree (and hence the new key) reachable
         // (for durable trees, the flush of that pointer).
         self.link_child(parent, path.n_idx, tagged);
-        leaf.mark();
         // SAFETY: both locked above with their tokens.
         unsafe {
             parent.lock.unlock(&mut parent_token);

@@ -192,6 +192,112 @@ fn concurrent_readers_never_see_phantoms() {
     tree.check_invariants().unwrap();
 }
 
+/// Scanners racing inserters must only ever observe atomic snapshots.
+///
+/// Each writer inserts the keys of a disjoint block in **ascending** order,
+/// so any linearization of the execution leaves each block's present keys a
+/// contiguous prefix of the block.  A non-atomic scan can observe a key
+/// while missing an earlier-inserted (smaller) key of the same block; the
+/// validated leaf-walking scan must never do so, and consequently each
+/// block's observed key-sum must be one a linearization permits (the sum of
+/// a prefix).  Needs real parallelism to race; skips on single-core
+/// machines like the other contention tests.
+#[test]
+fn scans_racing_inserters_observe_only_linearizable_snapshots() {
+    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        eprintln!("skipping scan race test: needs >= 2 hardware threads");
+        return;
+    }
+    const WRITERS: u64 = 3;
+    const BLOCK: u64 = 4_000;
+    let tree: Arc<ElimABTree> = Arc::new(ElimABTree::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let tree = Arc::clone(&tree);
+        writers.push(std::thread::spawn(move || {
+            for i in 0..BLOCK {
+                let k = w * BLOCK + i;
+                assert_eq!(tree.insert(k, k), None);
+            }
+        }));
+    }
+
+    let mut scanners = Vec::new();
+    for s in 0..2 {
+        let tree = Arc::clone(&tree);
+        let stop = Arc::clone(&stop);
+        scanners.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0x5CA + s as u64);
+            let mut out = Vec::new();
+            let mut scans = 0u64;
+            loop {
+                let done = stop.load(Ordering::Acquire);
+                // Mix whole-space scans with random sub-windows.
+                let (lo, hi) = if rng.gen_bool(0.5) {
+                    (0, WRITERS * BLOCK - 1)
+                } else {
+                    let a = rng.gen_range(0..WRITERS * BLOCK);
+                    let b = rng.gen_range(0..WRITERS * BLOCK);
+                    (a.min(b), a.max(b))
+                };
+                tree.range(lo, hi, &mut out);
+                assert!(
+                    out.windows(2).all(|w| w[0].0 < w[1].0),
+                    "scan output must be sorted and duplicate-free"
+                );
+                for w in 0..WRITERS {
+                    let base = w * BLOCK;
+                    // Keys of block `w` inside the scanned window, in order.
+                    let observed: Vec<u64> = out
+                        .iter()
+                        .map(|e| e.0)
+                        .filter(|&k| k >= base && k < base + BLOCK)
+                        .collect();
+                    // The window clips the block to [from, ..]; an atomic
+                    // snapshot must contain a *contiguous run* starting at
+                    // the clip point: key `k` present implies every earlier-
+                    // inserted key of the block (down to the clip) present.
+                    let from = lo.max(base);
+                    for (i, &k) in observed.iter().enumerate() {
+                        assert_eq!(
+                            k,
+                            from + i as u64,
+                            "scan saw key {k} but missed an earlier-inserted \
+                             key of block {w}: not an atomic snapshot"
+                        );
+                    }
+                    let n = observed.len() as u64;
+                    let lin_sum = n * from + n.saturating_sub(1) * n / 2;
+                    assert_eq!(
+                        observed.iter().sum::<u64>(),
+                        lin_sum,
+                        "block {w} key-sum is one no linearization permits"
+                    );
+                }
+                scans += 1;
+                if done {
+                    return scans;
+                }
+            }
+        }));
+    }
+
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    for s in scanners {
+        assert!(s.join().unwrap() > 0, "scanner never completed a scan");
+    }
+    // After the race, a scan sees exactly everything.
+    let mut out = Vec::new();
+    tree.range(0, WRITERS * BLOCK - 1, &mut out);
+    assert_eq!(out.len() as u64, WRITERS * BLOCK);
+    tree.check_invariants().unwrap();
+}
+
 #[test]
 fn grow_concurrently_then_verify_contents() {
     // Threads insert disjoint key ranges; afterwards every key must be

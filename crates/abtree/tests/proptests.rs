@@ -146,6 +146,106 @@ fn insert_all_delete_all_returns_to_empty() {
     }
 }
 
+/// The native leaf-walking `range` agrees with a `BTreeMap` oracle at every
+/// point of a randomized insert/delete interleaving, across window shapes:
+/// random `[lo, hi]` windows, single points, inverted bounds (`lo > hi`),
+/// and the whole key space (which spans every leaf boundary).
+#[test]
+fn native_range_matches_btreemap_oracle() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5CA_0005 ^ seed);
+        // Alternate between a dense small key space (leaves churn through
+        // splits and merges) and a sparse large one.
+        let key_space: u64 = if seed % 2 == 0 { 64 } else { 20_000 };
+        let tree: ElimABTree = ElimABTree::new();
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        for step in 0..800 {
+            let k = rng.gen_range(0..key_space);
+            if rng.gen_bool(0.6) {
+                if tree.insert(k, k ^ seed).is_none() {
+                    oracle.insert(k, k ^ seed);
+                }
+            } else {
+                assert_eq!(tree.delete(k), oracle.remove(&k), "[seed {seed}]");
+            }
+            if step % 16 != 0 {
+                continue;
+            }
+            let (lo, hi) = match rng.gen_range(0..4u32) {
+                0 => {
+                    let a = rng.gen_range(0..key_space);
+                    let b = rng.gen_range(0..key_space);
+                    (a.min(b), a.max(b))
+                }
+                1 => {
+                    let a = rng.gen_range(0..key_space);
+                    (a, a) // single point
+                }
+                2 => {
+                    let a = rng.gen_range(1..key_space);
+                    (a, a - 1) // inverted: must come back empty
+                }
+                _ => (0, u64::MAX - 1), // whole key space
+            };
+            tree.range(lo, hi, &mut out);
+            let expected: Vec<(u64, u64)> = if lo > hi {
+                Vec::new()
+            } else {
+                oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+            };
+            assert_eq!(out, expected, "range({lo}, {hi}) [seed {seed}]");
+            if lo <= hi {
+                assert_eq!(
+                    tree.scan_len(lo, hi - lo + 1),
+                    expected.len(),
+                    "scan_len({lo}, {}) [seed {seed}]",
+                    hi - lo + 1
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic leaf-boundary sweep: with contiguous keys the tree packs
+/// leaves tightly, so stepping windows across the space crosses every leaf
+/// boundary; deleting a band afterwards moves the boundaries and the windows
+/// must still agree with the oracle.
+#[test]
+fn range_windows_across_leaf_boundaries() {
+    let tree: OccABTree = OccABTree::new();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for k in 0..1_000u64 {
+        tree.insert(k, k * 3);
+        oracle.insert(k, k * 3);
+    }
+    let mut out = Vec::new();
+    let check = |tree: &OccABTree, oracle: &BTreeMap<u64, u64>, out: &mut Vec<(u64, u64)>| {
+        for lo in (0..1_000u64).step_by(37) {
+            for width in [0u64, 1, 10, 150] {
+                let hi = lo + width;
+                tree.range(lo, hi, out);
+                let expected: Vec<(u64, u64)> =
+                    oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(*out, expected, "range({lo}, {hi})");
+            }
+        }
+    };
+    check(&tree, &oracle, &mut out);
+    // Delete a band in the middle (forces merges/redistributions) and a
+    // comb pattern elsewhere, then sweep again.
+    for k in 400..600u64 {
+        tree.delete(k);
+        oracle.remove(&k);
+    }
+    for k in (0..400u64).step_by(3) {
+        tree.delete(k);
+        oracle.remove(&k);
+    }
+    tree.check_invariants().unwrap();
+    check(&tree, &oracle, &mut out);
+}
+
 /// The key-sum validation used by the benchmark harness agrees with the
 /// actual contents for arbitrary workloads.
 #[test]

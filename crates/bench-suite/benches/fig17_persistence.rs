@@ -22,6 +22,7 @@ fn bench(c: &mut Criterion) {
                     threads,
                     duration: Duration::from_millis(0),
                     seed: 5,
+                    ..Default::default()
                 });
                 let label = format!(
                     "{structure}/{}",

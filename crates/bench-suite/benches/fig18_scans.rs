@@ -1,33 +1,41 @@
-//! fig16: YCSB Workload A (50% reads / 50% row updates through the index,
-//! request Zipf 0.5).  The paper uses 100M records; the bench loads 1M so the
-//! suite stays fast — run the `fig16_ycsb` driver binary for larger loads.
+//! fig18: YCSB Workload E (95% range scans / 5% inserts, request Zipf 0.5),
+//! scan lengths uniform 1..=100.  Structures with a native `range` walk
+//! their own layout; the others pay one point lookup per key in the window,
+//! which is the contrast this figure shows.  The bench loads 100k records so
+//! the suite stays fast — run the `fig18_scans` driver binary for the
+//! full-methodology sweep.
 
 use std::time::Duration;
 
 use bench_suite::{bench_structures, bench_threads, configure, OPS_PER_BATCH};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use setbench::{YcsbConfig, YcsbInstance};
+use workload::YcsbWorkloadKind;
 
 fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig16_ycsb_a");
+    let mut group = c.benchmark_group("fig18_scans");
     configure(&mut group);
-    group.throughput(Throughput::Elements(OPS_PER_BATCH));
+    // Scans dominate the batch, so batches are smaller than the point-op
+    // figures to keep per-iteration time comparable.
+    let ops = OPS_PER_BATCH / 10;
+    group.throughput(Throughput::Elements(ops));
     for structure in bench_structures() {
         for &threads in &bench_threads() {
             let instance = YcsbInstance::new(YcsbConfig {
                 structure: structure.to_string(),
-                records: 1_000_000,
+                kind: YcsbWorkloadKind::E,
+                records: 100_000,
                 zipf: 0.5,
+                max_scan_len: 100,
                 threads,
                 duration: Duration::from_millis(0),
-                seed: 99,
-                ..Default::default()
+                seed: 77,
             });
             group.bench_function(BenchmarkId::new(structure, threads), |b| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
-                        total += instance.run_ops(OPS_PER_BATCH);
+                        total += instance.run_ops(ops);
                     }
                     total
                 })

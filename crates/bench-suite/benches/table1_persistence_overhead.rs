@@ -35,6 +35,7 @@ fn bench(c: &mut Criterion) {
                     threads,
                     duration: Duration::from_millis(0),
                     seed: 11,
+                    ..Default::default()
                 });
                 let label = format!(
                     "{structure}/u{update_percent}/{}",

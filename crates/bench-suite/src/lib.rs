@@ -83,6 +83,7 @@ pub fn bench_microbench_figure(
                     threads,
                     duration: Duration::from_millis(0),
                     seed: 42,
+                    ..Default::default()
                 });
                 group.bench_function(id, |b| {
                     b.iter_custom(|iters| {
@@ -117,6 +118,7 @@ pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
             let dist = dist.clone();
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(0xA11CE ^ t as u64);
+                let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                 for _ in 0..per_thread {
                     let key = dist.sample(&mut rng);
                     match mix.sample(&mut rng) {
@@ -128,6 +130,11 @@ pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
                         }
                         Operation::Find => {
                             std::hint::black_box(map.get(key));
+                        }
+                        Operation::Scan => {
+                            let len = rng.gen_range(1..=workload::DEFAULT_MAX_SCAN_LEN);
+                            map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                            std::hint::black_box(scan_buf.len());
                         }
                     }
                 }

@@ -1,0 +1,52 @@
+//! Driver for Figure 18: scan throughput under YCSB Workload E (95% range
+//! scans / 5% inserts), sweeping the scan-length upper bound x the thread
+//! count over every volatile structure.
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin fig18_scans -- [records] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin fig18_scans -- --smoke
+//!
+//! `--smoke` runs a tiny sweep (small record count, short cells, one scan
+//! length) so CI can exercise the full driver path in seconds; the default
+//! sweep uses 1M records and scan lengths {1, 10, 100}.
+//!
+//! Each cell prints a table row (operations/us plus the number of scans
+//! completed) and a JSON row on stderr; structures without a native `range`
+//! run the point-lookup fallback, which is the comparison the figure makes.
+
+use std::time::Duration;
+
+use setbench::{default_thread_counts, run_scan_figure, volatile_structures};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let structures: Vec<String> = volatile_structures().iter().map(|s| s.to_string()).collect();
+    let results = if smoke {
+        run_scan_figure(
+            1_000,
+            &[10],
+            &[1],
+            Duration::from_millis(50),
+            &structures,
+        )
+    } else {
+        let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+        let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+        run_scan_figure(
+            records,
+            &[1, 10, 100],
+            &default_thread_counts(),
+            Duration::from_secs_f64(secs),
+            &structures,
+        )
+    };
+    assert!(
+        results.iter().all(|r| r.validated),
+        "key-sum validation failed"
+    );
+    assert!(
+        results.iter().all(|r| r.scan_ops > 0),
+        "a cell completed no scans"
+    );
+}

@@ -95,6 +95,7 @@ pub fn run_microbench_figure(params: &FigureParams) -> Vec<BenchResult> {
                         threads,
                         duration: params.duration,
                         seed: 0xD1CE,
+                        ..Default::default()
                     };
                     let mut r = run_microbench(&cfg);
                     r.experiment = params.experiment.clone();
@@ -129,12 +130,57 @@ pub fn run_ycsb_figure(
                 threads: t,
                 duration,
                 seed: 0xFEED,
+                ..Default::default()
             };
             let mut r = run_ycsb(&cfg);
             r.experiment = "fig16".into();
             let json = print_result_row(&r);
             eprintln!("{json}");
             results.push(r);
+        }
+    }
+    results
+}
+
+/// Figure 18: scan throughput under YCSB Workload E (95% scans / 5%
+/// inserts), sweeping the scan-length upper bound against the thread count
+/// for every volatile structure.  Structures without a native scan fall back
+/// to the default point-lookup loop, which is exactly the contrast the
+/// figure exists to show.
+pub fn run_scan_figure(
+    records: u64,
+    scan_lens: &[u64],
+    threads: &[usize],
+    duration: Duration,
+    structures: &[String],
+) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for &max_scan_len in scan_lens {
+        print_figure_header(
+            "fig18",
+            &format!(
+                "YCSB Workload E, {records} records, scan lengths 1..={max_scan_len}, \
+                 request Zipf 0.5"
+            ),
+        );
+        for structure in structures {
+            for &t in threads {
+                let cfg = YcsbConfig {
+                    structure: structure.clone(),
+                    kind: workload::YcsbWorkloadKind::E,
+                    records,
+                    zipf: 0.5,
+                    max_scan_len,
+                    threads: t,
+                    duration,
+                    seed: 0x5CA7,
+                };
+                let mut r = run_ycsb(&cfg);
+                r.experiment = "fig18".into();
+                let json = print_result_row(&r);
+                eprintln!("{json}");
+                results.push(r);
+            }
         }
     }
     results
@@ -167,6 +213,7 @@ pub fn run_persistence_figure(
                     threads: t,
                     duration,
                     seed: 0xCAFE,
+                    ..Default::default()
                 };
                 let mut r = run_microbench(&cfg);
                 r.experiment = "fig17".into();
@@ -208,6 +255,7 @@ pub fn run_persistence_overhead_table(
                     threads,
                     duration,
                     seed: 0xAB1E,
+                    ..Default::default()
                 });
                 abpmem::set_mode(abpmem::PersistMode::Real);
                 let p = run_microbench(&MicrobenchConfig {
@@ -218,6 +266,7 @@ pub fn run_persistence_overhead_table(
                     threads,
                     duration,
                     seed: 0xAB1E,
+                    ..Default::default()
                 });
                 abpmem::set_mode(abpmem::PersistMode::CountOnly);
                 let overhead = (p.throughput_mops - v.throughput_mops) / v.throughput_mops * 100.0;
@@ -259,6 +308,19 @@ mod tests {
         let results = run_microbench_figure(&params);
         assert_eq!(results.len(), 2);
         assert!(results.iter().all(|r| r.validated));
+    }
+
+    #[test]
+    fn tiny_scan_figure_run_counts_scans() {
+        let structures = vec!["elim-abtree".to_string(), "skiplist-lazy".to_string()];
+        let results = run_scan_figure(500, &[8], &[2], Duration::from_millis(40), &structures);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.experiment, "fig18");
+            assert!(r.validated, "{} failed validation", r.structure);
+            assert!(r.scan_ops > 0, "{} completed no scans", r.structure);
+            assert!(r.scan_ops <= r.total_ops);
+        }
     }
 
     #[test]

@@ -5,13 +5,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::prelude::*;
-use workload::{KeyDistribution, Operation, OperationMix, YcsbOp, YcsbWorkload};
+use workload::{
+    KeyDistribution, Operation, OperationMix, YcsbOp, YcsbWorkload, YcsbWorkloadKind,
+    DEFAULT_MAX_SCAN_LEN,
+};
 
 use crate::registry::{make_structure, Benchable};
 use crate::report::BenchResult;
 
-/// Configuration of one microbenchmark run (one cell of Figures 12-15/17 and
-/// Table 1).
+/// Configuration of one microbenchmark run (one cell of Figures 12-15/17/18
+/// and Table 1).
 #[derive(Debug, Clone)]
 pub struct MicrobenchConfig {
     /// Registry name of the data structure to run.
@@ -21,6 +24,11 @@ pub struct MicrobenchConfig {
     /// Percentage of operations that are updates (split evenly between
     /// inserts and deletes).
     pub update_percent: u32,
+    /// Percentage of operations that are range scans (taken out of the find
+    /// share; 0 reproduces the paper's point-operation mixes).
+    pub scan_percent: u32,
+    /// Upper bound of the uniform `1..=max` scan-length distribution.
+    pub max_scan_len: u64,
     /// Zipf parameter (0 = uniform, the paper also uses 1.0; YCSB uses 0.5).
     pub zipf: f64,
     /// Number of worker threads.
@@ -31,15 +39,36 @@ pub struct MicrobenchConfig {
     pub seed: u64,
 }
 
-/// Configuration of one YCSB run (Figure 16).
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        Self {
+            structure: "elim-abtree".into(),
+            key_range: 1_000,
+            update_percent: 50,
+            scan_percent: 0,
+            max_scan_len: DEFAULT_MAX_SCAN_LEN,
+            zipf: 0.0,
+            threads: 1,
+            duration: Duration::from_millis(50),
+            seed: 1,
+        }
+    }
+}
+
+/// Configuration of one YCSB run (Figure 16 for Workload A, Figure 18 for
+/// the scan Workload E).
 #[derive(Debug, Clone)]
 pub struct YcsbConfig {
     /// Registry name of the data structure used as the index.
     pub structure: String,
+    /// Which YCSB core workload to run.
+    pub kind: YcsbWorkloadKind,
     /// Number of records loaded before the measured phase.
     pub records: u64,
     /// Request-distribution Zipf factor (0.5 for Workload A in the paper).
     pub zipf: f64,
+    /// Upper bound of the uniform scan-length distribution (Workload E).
+    pub max_scan_len: u64,
     /// Number of worker threads.
     pub threads: usize,
     /// Length of the measured phase.
@@ -48,10 +77,35 @@ pub struct YcsbConfig {
     pub seed: u64,
 }
 
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            structure: "elim-abtree".into(),
+            kind: YcsbWorkloadKind::A,
+            records: 10_000,
+            zipf: 0.5,
+            max_scan_len: DEFAULT_MAX_SCAN_LEN,
+            threads: 1,
+            duration: Duration::from_millis(50),
+            seed: 1,
+        }
+    }
+}
+
+/// The nominal update percentage of a YCSB workload (for the result row).
+fn ycsb_update_percent(kind: YcsbWorkloadKind) -> u32 {
+    match kind {
+        YcsbWorkloadKind::A => 50,
+        YcsbWorkloadKind::B | YcsbWorkloadKind::D | YcsbWorkloadKind::E => 5,
+        YcsbWorkloadKind::C => 0,
+    }
+}
+
 /// Per-thread tally used for the paper's checksum validation.
 #[derive(Default)]
 struct ThreadTally {
     ops: u64,
+    scan_ops: u64,
     inserted_sum: i128,
     deleted_sum: i128,
 }
@@ -98,7 +152,7 @@ fn prefill_parallel(
 /// Runs one microbenchmark cell: prefill, measured phase, validation.
 pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
     let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
-    let mix = OperationMix::from_update_percent(cfg.update_percent);
+    let mix = OperationMix::from_update_and_scan_percent(cfg.update_percent, cfg.scan_percent);
     let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
 
     // Prefill to half the key range (§6 "Methodology").
@@ -116,9 +170,11 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
             let stop = Arc::clone(&stop);
             let dist = dist.clone();
             let seed = cfg.seed;
+            let max_scan_len = cfg.max_scan_len.max(1);
             handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + 31 * t as u64));
                 let mut tally = ThreadTally::default();
+                let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     // Batch a few operations per stop-flag check.
                     for _ in 0..64 {
@@ -137,6 +193,12 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
                             Operation::Find => {
                                 std::hint::black_box(map.get(key));
                             }
+                            Operation::Scan => {
+                                let len = rng.gen_range(1..=max_scan_len);
+                                map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                                std::hint::black_box(scan_buf.len());
+                                tally.scan_ops += 1;
+                            }
                         }
                         tally.ops += 1;
                     }
@@ -154,6 +216,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
     let elapsed = started.elapsed();
 
     let total_ops: u64 = tallies.iter().map(|t| t.ops).sum();
+    let scan_ops: u64 = tallies.iter().map(|t| t.scan_ops).sum();
     let net: i128 = prefill_sum
         + tallies.iter().map(|t| t.inserted_sum).sum::<i128>()
         - tallies.iter().map(|t| t.deleted_sum).sum::<i128>();
@@ -167,19 +230,22 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
         update_percent: cfg.update_percent,
         zipf: cfg.zipf,
         total_ops,
+        scan_ops,
         duration_secs: elapsed.as_secs_f64(),
         throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
         validated,
     }
 }
 
-/// Runs one YCSB cell (Figure 16): load phase then a timed request phase.
-/// Writes in Workload A touch the row, not the index (paper §6.2), so both
-/// reads and updates are index lookups; only Workload D-style inserts modify
-/// the index.
+/// Runs one YCSB cell (Figure 16 for Workload A, Figure 18 for Workload E):
+/// load phase then a timed request phase.  Writes in Workload A touch the
+/// row, not the index (paper §6.2), so both reads and updates are index
+/// lookups; only inserts (Workloads D/E) modify the index.  Workload E scans
+/// drive `ConcurrentMap::range` over the requested key window.
 pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
     let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
-    let workload = YcsbWorkload::workload_a(cfg.records, cfg.zipf);
+    let workload = YcsbWorkload::new(cfg.kind, cfg.records, cfg.zipf)
+        .with_max_scan_len(cfg.max_scan_len.max(1));
 
     // Load phase: insert every record, split across threads.
     let mut load_sum = 0i128;
@@ -222,6 +288,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
                 // The "database rows" behind the index: a per-thread sink that
                 // models the row write of a YCSB update.
                 let mut row_sink: u64 = 0;
+                let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     for _ in 0..64 {
                         match workload.next_op(&mut rng) {
@@ -237,6 +304,13 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
                                 if map.insert(k, k).is_none() {
                                     tally.inserted_sum += k as i128;
                                 }
+                            }
+                            YcsbOp::Scan(k, len) => {
+                                map.range(k, k.saturating_add(len - 1), &mut scan_buf);
+                                for &(_, row) in &scan_buf {
+                                    row_sink = row_sink.wrapping_add(row);
+                                }
+                                tally.scan_ops += 1;
                             }
                         }
                         tally.ops += 1;
@@ -255,17 +329,19 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
     let elapsed = started.elapsed();
 
     let total_ops: u64 = tallies.iter().map(|t| t.ops).sum();
+    let scan_ops: u64 = tallies.iter().map(|t| t.scan_ops).sum();
     let net: i128 = load_sum + tallies.iter().map(|t| t.inserted_sum).sum::<i128>();
     let validated = map.key_sum() as i128 == net;
 
     BenchResult {
-        experiment: "ycsb-a".into(),
+        experiment: workload.label().into(),
         structure: cfg.structure.clone(),
         threads: cfg.threads,
         key_range: cfg.records,
-        update_percent: 50,
+        update_percent: ycsb_update_percent(cfg.kind),
         zipf: cfg.zipf,
         total_ops,
+        scan_ops,
         duration_secs: elapsed.as_secs_f64(),
         throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
         validated,
@@ -293,7 +369,7 @@ impl MicrobenchInstance {
         let target = cfg.key_range / 2;
         prefill_parallel(&map, cfg.key_range, target, cfg.threads, cfg.seed);
         let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
-        let mix = OperationMix::from_update_percent(cfg.update_percent);
+        let mix = OperationMix::from_update_and_scan_percent(cfg.update_percent, cfg.scan_percent);
         Self {
             map,
             cfg,
@@ -313,8 +389,10 @@ impl MicrobenchInstance {
                 let dist = self.dist.clone();
                 let mix = self.mix;
                 let seed = self.cfg.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let max_scan_len = self.cfg.max_scan_len.max(1);
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
+                    let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                     for _ in 0..per_thread {
                         let key = dist.sample(&mut rng);
                         match mix.sample(&mut rng) {
@@ -326,6 +404,11 @@ impl MicrobenchInstance {
                             }
                             Operation::Find => {
                                 std::hint::black_box(map.get(key));
+                            }
+                            Operation::Scan => {
+                                let len = rng.gen_range(1..=max_scan_len);
+                                map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                                std::hint::black_box(scan_buf.len());
                             }
                         }
                     }
@@ -353,7 +436,8 @@ impl YcsbInstance {
     /// Builds the index and loads `cfg.records` records.
     pub fn new(cfg: YcsbConfig) -> Self {
         let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
-        let workload = YcsbWorkload::workload_a(cfg.records, cfg.zipf);
+        let workload = YcsbWorkload::new(cfg.kind, cfg.records, cfg.zipf)
+            .with_max_scan_len(cfg.max_scan_len.max(1));
         std::thread::scope(|scope| {
             let chunk = cfg.records / cfg.threads.max(1) as u64 + 1;
             for t in 0..cfg.threads.max(1) as u64 {
@@ -388,6 +472,7 @@ impl YcsbInstance {
                 scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut sink = 0u64;
+                    let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                     for _ in 0..per_thread {
                         match workload.next_op(&mut rng) {
                             YcsbOp::Read(k) | YcsbOp::Update(k) => {
@@ -397,6 +482,10 @@ impl YcsbInstance {
                             }
                             YcsbOp::Insert(k) => {
                                 std::hint::black_box(map.insert(k, k));
+                            }
+                            YcsbOp::Scan(k, len) => {
+                                map.range(k, k.saturating_add(len - 1), &mut scan_buf);
+                                sink = sink.wrapping_add(scan_buf.len() as u64);
                             }
                         }
                     }

@@ -22,14 +22,15 @@ pub mod report;
 
 pub use figures::{
     default_thread_counts, run_microbench_figure, run_persistence_figure,
-    run_persistence_overhead_table, run_ycsb_figure, FigureParams,
+    run_persistence_overhead_table, run_scan_figure, run_ycsb_figure, FigureParams,
 };
 pub use harness::{
     run_microbench, run_ycsb, MicrobenchConfig, MicrobenchInstance, YcsbConfig, YcsbInstance,
 };
 pub use registry::{
-    descriptor, make_structure, names_in, persistent_structures, structure_names,
-    volatile_structures, Benchable, StructureCategory, StructureDescriptor, STRUCTURES,
+    descriptor, make_structure, names_in, native_scan_structures, persistent_structures,
+    scan_support, structure_names, volatile_structures, Benchable, ScanSupport,
+    StructureCategory, StructureDescriptor, STRUCTURES,
 };
 pub use report::{print_figure_header, print_result_row, BenchResult};
 
@@ -49,12 +50,59 @@ mod tests {
                 threads: 2,
                 duration: Duration::from_millis(50),
                 seed: 1,
+                ..Default::default()
             };
             let result = run_microbench(&cfg);
             assert!(result.validated, "validation failed for {name}");
             assert!(result.total_ops > 0, "no ops completed for {name}");
             assert_eq!(result.structure, *name);
         }
+    }
+
+    /// Acceptance check for the scan subsystem: a YCSB-E (scan-heavy) mix
+    /// runs against every registered structure — native scan or fallback —
+    /// and passes the key-sum validation.
+    #[test]
+    fn ycsb_e_runs_and_validates_every_structure() {
+        for name in structure_names() {
+            let cfg = YcsbConfig {
+                structure: name.to_string(),
+                kind: workload::YcsbWorkloadKind::E,
+                records: 2_000,
+                zipf: 0.5,
+                max_scan_len: 50,
+                threads: 2,
+                duration: Duration::from_millis(40),
+                seed: 5,
+            };
+            let result = run_ycsb(&cfg);
+            assert!(result.validated, "validation failed for {name}");
+            assert!(result.scan_ops > 0, "no scans completed for {name}");
+            assert_eq!(result.experiment, "ycsb-e");
+        }
+    }
+
+    /// A scan-heavy microbenchmark mix exercises `Operation::Scan` through
+    /// the same prefill/measure/validate pipeline as the point mixes.
+    #[test]
+    fn scan_mix_microbench_validates() {
+        let cfg = MicrobenchConfig {
+            structure: "occ-abtree".into(),
+            key_range: 4_000,
+            update_percent: 20,
+            scan_percent: 30,
+            max_scan_len: 64,
+            zipf: 0.0,
+            threads: 2,
+            duration: Duration::from_millis(60),
+            seed: 11,
+        };
+        let r = run_microbench(&cfg);
+        assert!(r.validated);
+        assert!(r.scan_ops > 0);
+        // ~30% of operations should be scans.
+        let share = r.scan_ops as f64 / r.total_ops as f64;
+        assert!((0.2..0.4).contains(&share), "scan share = {share}");
     }
 
     #[test]
@@ -67,6 +115,7 @@ mod tests {
             threads: 4,
             duration: Duration::from_millis(100),
             seed: 7,
+            ..Default::default()
         };
         let r = run_microbench(&cfg);
         assert!(r.validated);
@@ -82,6 +131,7 @@ mod tests {
             threads: 2,
             duration: Duration::from_millis(50),
             seed: 3,
+            ..Default::default()
         };
         let r = run_ycsb(&cfg);
         assert!(r.total_ops > 0);

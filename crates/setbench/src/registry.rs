@@ -7,7 +7,9 @@
 //!
 //! The registry itself is a single data-driven table: one
 //! [`StructureDescriptor`] per structure, carrying its name, its
-//! volatile/persistent category and a factory function.  Everything else —
+//! volatile/persistent category, whether its range scans are native or the
+//! point-lookup fallback ([`ScanSupport`]), and a factory function.
+//! Everything else —
 //! [`structure_names`], [`make_structure`], the harness, the figure drivers
 //! and the Criterion benches — iterates this table.  **Registering a new
 //! structure therefore means adding exactly one descriptor line below**
@@ -37,17 +39,33 @@ pub enum StructureCategory {
     Persistent,
 }
 
+/// How a structure serves `ConcurrentMap::range` (drives the scan figure's
+/// interpretation: fallback scans pay one point lookup per key in the
+/// window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanSupport {
+    /// Overrides `range` with an ordered traversal of its own layout (the
+    /// (a,b)-trees additionally validate versions, making the scan a
+    /// linearizable snapshot).
+    Native,
+    /// Uses the default `range`: one `get` per key in the window.
+    Fallback,
+}
+
 /// One registered data structure: the single source of truth for its
-/// benchmark name, category, and construction.
+/// benchmark name, category, scan support, and construction.
 pub struct StructureDescriptor {
     /// Registry name, matching `ConcurrentMap::name()` of the built value.
     pub name: &'static str,
     /// Volatile or persistent.
     pub category: StructureCategory,
+    /// Native or fallback range scans.
+    pub scan: ScanSupport,
     /// Builds a fresh, empty instance.
     pub factory: fn() -> Box<dyn Benchable>,
 }
 
+use ScanSupport::{Fallback, Native};
 use StructureCategory::{Persistent, Volatile};
 
 /// Factory helper: builds a default instance of `T` behind the trait object.
@@ -64,46 +82,55 @@ pub static STRUCTURES: &[StructureDescriptor] = &[
     StructureDescriptor {
         name: "elim-abtree",
         category: Volatile,
+        scan: Native,
         factory: boxed::<ElimABTree>,
     },
     StructureDescriptor {
         name: "occ-abtree",
         category: Volatile,
+        scan: Native,
         factory: boxed::<OccABTree>,
     },
     StructureDescriptor {
         name: "catree",
         category: Volatile,
+        scan: Fallback,
         factory: boxed::<CaTree>,
     },
     StructureDescriptor {
         name: "lf-abtree(cow)",
         category: Volatile,
+        scan: Native,
         factory: boxed::<CowABTree>,
     },
     StructureDescriptor {
         name: "ext-bst-lock",
         category: Volatile,
+        scan: Fallback,
         factory: boxed::<LockExtBst>,
     },
     StructureDescriptor {
         name: "skiplist-lazy",
         category: Volatile,
+        scan: Native,
         factory: boxed::<LazySkipList>,
     },
     StructureDescriptor {
         name: "p-elim-abtree",
         category: Persistent,
+        scan: Native,
         factory: boxed::<PElimABTree>,
     },
     StructureDescriptor {
         name: "p-occ-abtree",
         category: Persistent,
+        scan: Native,
         factory: boxed::<POccABTree>,
     },
     StructureDescriptor {
         name: "fptree",
         category: Persistent,
+        scan: Fallback,
         factory: boxed::<FpTree>,
     },
 ];
@@ -135,6 +162,21 @@ pub fn persistent_structures() -> Vec<&'static str> {
 /// Looks up the descriptor registered under `name`.
 pub fn descriptor(name: &str) -> Option<&'static StructureDescriptor> {
     STRUCTURES.iter().find(|d| d.name == name)
+}
+
+/// How the structure registered under `name` serves range scans.
+pub fn scan_support(name: &str) -> Option<ScanSupport> {
+    descriptor(name).map(|d| d.scan)
+}
+
+/// Names of the structures with a native `range` implementation, in table
+/// order.
+pub fn native_scan_structures() -> Vec<&'static str> {
+    STRUCTURES
+        .iter()
+        .filter(|d| d.scan == Native)
+        .map(|d| d.name)
+        .collect()
 }
 
 /// Instantiates a structure by name.  Panics on unknown names.
@@ -209,5 +251,37 @@ mod tests {
     #[should_panic(expected = "no-such-tree")]
     fn unknown_name_panics_with_message() {
         make_structure("no-such-tree");
+    }
+
+    /// The scan-support column the figure drivers and docs rely on: the
+    /// (a,b)-tree family, the skiplist and the COW tree walk their own
+    /// layouts; the remaining baselines use the point-lookup fallback.
+    #[test]
+    fn scan_support_metadata() {
+        assert_eq!(
+            native_scan_structures(),
+            vec![
+                "elim-abtree",
+                "occ-abtree",
+                "lf-abtree(cow)",
+                "skiplist-lazy",
+                "p-elim-abtree",
+                "p-occ-abtree",
+            ]
+        );
+        assert_eq!(scan_support("catree"), Some(ScanSupport::Fallback));
+        assert_eq!(scan_support("elim-abtree"), Some(ScanSupport::Native));
+        assert_eq!(scan_support("no-such-tree"), None);
+        // Whatever the support level, every structure must answer scans.
+        let mut out = Vec::new();
+        for d in STRUCTURES {
+            let s = (d.factory)();
+            for k in [2u64, 3, 5, 8, 13] {
+                s.insert(k, k * 10);
+            }
+            s.range(3, 8, &mut out);
+            assert_eq!(out, vec![(3, 30), (5, 50), (8, 80)], "{}", d.name);
+            assert_eq!(s.scan_len(0, 14), 5, "{}", d.name);
+        }
     }
 }

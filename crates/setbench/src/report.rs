@@ -22,6 +22,8 @@ pub struct BenchResult {
     pub zipf: f64,
     /// Operations completed during the measured phase.
     pub total_ops: u64,
+    /// Range scans among `total_ops` (0 for the paper's point-op mixes).
+    pub scan_ops: u64,
     /// Measured-phase length in seconds.
     pub duration_secs: f64,
     /// Throughput in operations per microsecond (the paper's y-axis unit).
@@ -54,8 +56,8 @@ impl BenchResult {
             concat!(
                 "{{\"experiment\":\"{}\",\"structure\":\"{}\",\"threads\":{},",
                 "\"key_range\":{},\"update_percent\":{},\"zipf\":{},",
-                "\"total_ops\":{},\"duration_secs\":{},\"throughput_mops\":{},",
-                "\"validated\":{}}}"
+                "\"total_ops\":{},\"scan_ops\":{},\"duration_secs\":{},",
+                "\"throughput_mops\":{},\"validated\":{}}}"
             ),
             escape(&self.experiment),
             escape(&self.structure),
@@ -64,6 +66,7 @@ impl BenchResult {
             self.update_percent,
             self.zipf,
             self.total_ops,
+            self.scan_ops,
             self.duration_secs,
             self.throughput_mops,
             self.validated
@@ -77,7 +80,7 @@ impl BenchResult {
     /// parser.  Returns `None` on any missing, duplicate or unknown field,
     /// so truncated log lines are rejected rather than zero-filled.
     pub fn from_json(json: &str) -> Option<Self> {
-        const FIELD_COUNT: usize = 10;
+        const FIELD_COUNT: usize = 11;
         let body = json.trim().strip_prefix('{')?.strip_suffix('}')?;
         let mut r = BenchResult {
             experiment: String::new(),
@@ -87,6 +90,7 @@ impl BenchResult {
             update_percent: 0,
             zipf: 0.0,
             total_ops: 0,
+            scan_ops: 0,
             duration_secs: 0.0,
             throughput_mops: 0.0,
             validated: false,
@@ -125,17 +129,21 @@ impl BenchResult {
                     r.total_ops = value.parse().ok()?;
                     6
                 }
+                "scan_ops" => {
+                    r.scan_ops = value.parse().ok()?;
+                    7
+                }
                 "duration_secs" => {
                     r.duration_secs = value.parse().ok()?;
-                    7
+                    8
                 }
                 "throughput_mops" => {
                     r.throughput_mops = value.parse().ok()?;
-                    8
+                    9
                 }
                 "validated" => {
                     r.validated = value.parse().ok()?;
-                    9
+                    10
                 }
                 _ => return None,
             };
@@ -201,8 +209,8 @@ pub fn print_figure_header(experiment: &str, description: &str) {
     println!();
     println!("=== {experiment}: {description} ===");
     println!(
-        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14} {:>10}",
-        "structure", "threads", "keys", "upd%", "zipf", "ops/us", "valid"
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14} {:>10} {:>10}",
+        "structure", "threads", "keys", "upd%", "zipf", "ops/us", "scans", "valid"
     );
 }
 
@@ -210,13 +218,14 @@ pub fn print_figure_header(experiment: &str, description: &str) {
 /// JSON string (one line, suitable for machine parsing).
 pub fn print_result_row(r: &BenchResult) -> String {
     println!(
-        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14.3} {:>10}",
+        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14.3} {:>10} {:>10}",
         r.structure,
         r.threads,
         r.key_range,
         r.update_percent,
         r.zipf,
         r.throughput_mops,
+        r.scan_ops,
         if r.validated { "ok" } else { "FAIL" }
     );
     r.to_json()
@@ -236,6 +245,7 @@ mod tests {
             update_percent: 100,
             zipf: 1.0,
             total_ops: 123_456,
+            scan_ops: 777,
             duration_secs: 1.0,
             throughput_mops: 0.123456,
             validated: true,
@@ -258,6 +268,7 @@ mod tests {
             update_percent: 0,
             zipf: 0.5,
             total_ops: 1,
+            scan_ops: 1,
             duration_secs: 0.25,
             throughput_mops: 4.0,
             validated: false,
@@ -276,6 +287,7 @@ mod tests {
             update_percent: 0,
             zipf: 0.0,
             total_ops: 1,
+            scan_ops: 0,
             duration_secs: 1.0,
             throughput_mops: 1.0,
             validated: true,
@@ -305,6 +317,7 @@ mod tests {
             update_percent: 0,
             zipf: 0.0,
             total_ops: 0,
+            scan_ops: 0,
             duration_secs: 0.1,
             throughput_mops: 0.0,
             validated: true,

@@ -24,9 +24,9 @@ pub mod prefill;
 pub mod ycsb;
 pub mod zipf;
 
-pub use mix::{Operation, OperationMix};
+pub use mix::{MixError, Operation, OperationMix};
 pub use prefill::{prefill, PrefillReport};
-pub use ycsb::{YcsbOp, YcsbWorkload, YcsbWorkloadKind};
+pub use ycsb::{YcsbOp, YcsbWorkload, YcsbWorkloadKind, DEFAULT_MAX_SCAN_LEN};
 pub use zipf::KeyDistribution;
 
 #[cfg(test)]
@@ -46,7 +46,7 @@ mod tests {
             assert!(key < 1_000);
             match mix.sample(&mut rng) {
                 Operation::Insert | Operation::Delete => updates += 1,
-                Operation::Find => {}
+                Operation::Find | Operation::Scan => {}
             }
         }
         // 50% +- a few percent.

@@ -5,6 +5,17 @@
 //! insert with probability `x/2`, a delete with probability `x/2`, and a
 //! `find` otherwise.  The prefill phase relies on inserts and deletes being
 //! equally likely so the steady-state size is half the key range.
+//!
+//! The scan subsystem adds a fourth operation kind, [`Operation::Scan`]
+//! (a range scan whose start key comes from the key distribution and whose
+//! length the harness samples separately), taking its share out of the
+//! find percentage.
+//!
+//! A mix is only constructible through validating constructors: the four
+//! percentages must sum to exactly 100, otherwise [`OperationMix::sample`]
+//! would silently skew the drawn proportions.  [`OperationMix::try_new`]
+//! surfaces the violation as a [`MixError`]; the panicking constructors
+//! wrap it.
 
 use rand::Rng;
 
@@ -17,42 +28,118 @@ pub enum Operation {
     Delete,
     /// `find(key)`.
     Find,
+    /// `range(key, key + len)` — a range scan starting at the drawn key.
+    Scan,
 }
 
-/// A probability mix over the three operations (percentages sum to 100).
+/// Why a set of operation percentages does not form a valid mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixError {
+    /// The percentages do not sum to 100 (the offending total; `None` when
+    /// the sum itself overflowed `u32`).
+    BadSum(Option<u32>),
+}
+
+impl std::fmt::Display for MixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixError::BadSum(Some(total)) => {
+                write!(f, "operation percentages must sum to 100, got {total}")
+            }
+            MixError::BadSum(None) => {
+                write!(f, "operation percentages must sum to 100, sum overflows u32")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+/// A probability mix over the four operations (percentages sum to 100).
+///
+/// The fields are private so that every constructed mix satisfies the
+/// sum-to-100 invariant that [`sample`](Self::sample) depends on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OperationMix {
-    /// Percentage of inserts.
-    pub insert_pct: u32,
-    /// Percentage of deletes.
-    pub delete_pct: u32,
-    /// Percentage of finds.
-    pub find_pct: u32,
+    insert_pct: u32,
+    delete_pct: u32,
+    find_pct: u32,
+    scan_pct: u32,
 }
 
 impl OperationMix {
-    /// Builds a mix from explicit percentages; they must sum to 100.
-    pub fn new(insert_pct: u32, delete_pct: u32, find_pct: u32) -> Self {
-        assert_eq!(
-            insert_pct + delete_pct + find_pct,
-            100,
-            "operation percentages must sum to 100"
-        );
-        Self {
-            insert_pct,
-            delete_pct,
-            find_pct,
+    /// Builds a mix from explicit percentages, validating that they sum to
+    /// exactly 100.
+    pub fn try_new(
+        insert_pct: u32,
+        delete_pct: u32,
+        find_pct: u32,
+        scan_pct: u32,
+    ) -> Result<Self, MixError> {
+        let total = insert_pct
+            .checked_add(delete_pct)
+            .and_then(|s| s.checked_add(find_pct))
+            .and_then(|s| s.checked_add(scan_pct));
+        match total {
+            Some(100) => Ok(Self {
+                insert_pct,
+                delete_pct,
+                find_pct,
+                scan_pct,
+            }),
+            other => Err(MixError::BadSum(other)),
         }
+    }
+
+    /// Builds a scan-free mix from explicit percentages; they must sum
+    /// to 100 (panics otherwise — use [`try_new`](Self::try_new) to handle
+    /// the error).
+    pub fn new(insert_pct: u32, delete_pct: u32, find_pct: u32) -> Self {
+        Self::try_new(insert_pct, delete_pct, find_pct, 0)
+            .expect("operation percentages must sum to 100")
     }
 
     /// The paper's convention: `update_percent` updates split evenly between
     /// inserts and deletes, the rest finds.  Odd percentages give the extra
     /// 1% to inserts.
     pub fn from_update_percent(update_percent: u32) -> Self {
-        assert!(update_percent <= 100);
+        Self::from_update_and_scan_percent(update_percent, 0)
+    }
+
+    /// Scan-workload variant of [`from_update_percent`]: `update_percent`
+    /// updates split evenly between inserts and deletes, `scan_percent`
+    /// range scans, the rest finds.
+    ///
+    /// [`from_update_percent`]: Self::from_update_percent
+    pub fn from_update_and_scan_percent(update_percent: u32, scan_percent: u32) -> Self {
+        assert!(
+            update_percent <= 100 && scan_percent <= 100 - update_percent,
+            "update% + scan% must not exceed 100"
+        );
         let delete = update_percent / 2;
         let insert = update_percent - delete;
-        Self::new(insert, delete, 100 - update_percent)
+        Self::try_new(insert, delete, 100 - update_percent - scan_percent, scan_percent)
+            .expect("percentages sum to 100 by construction")
+    }
+
+    /// Percentage of inserts.
+    pub fn insert_pct(&self) -> u32 {
+        self.insert_pct
+    }
+
+    /// Percentage of deletes.
+    pub fn delete_pct(&self) -> u32 {
+        self.delete_pct
+    }
+
+    /// Percentage of finds.
+    pub fn find_pct(&self) -> u32 {
+        self.find_pct
+    }
+
+    /// Percentage of range scans.
+    pub fn scan_pct(&self) -> u32 {
+        self.scan_pct
     }
 
     /// Total update percentage (inserts + deletes).
@@ -68,14 +155,21 @@ impl OperationMix {
             Operation::Insert
         } else if p < self.insert_pct + self.delete_pct {
             Operation::Delete
-        } else {
+        } else if p < self.insert_pct + self.delete_pct + self.find_pct {
             Operation::Find
+        } else {
+            Operation::Scan
         }
     }
 
-    /// Label such as `"u50"` used in benchmark output.
+    /// Label such as `"u50"` (or `"u5s30"` for a scan mix) used in benchmark
+    /// output.
     pub fn label(&self) -> String {
-        format!("u{}", self.update_percent())
+        if self.scan_pct > 0 {
+            format!("u{}s{}", self.update_percent(), self.scan_pct)
+        } else {
+            format!("u{}", self.update_percent())
+        }
     }
 }
 
@@ -88,9 +182,10 @@ mod tests {
     #[test]
     fn from_update_percent_splits_evenly() {
         let m = OperationMix::from_update_percent(50);
-        assert_eq!(m.insert_pct, 25);
-        assert_eq!(m.delete_pct, 25);
-        assert_eq!(m.find_pct, 50);
+        assert_eq!(m.insert_pct(), 25);
+        assert_eq!(m.delete_pct(), 25);
+        assert_eq!(m.find_pct(), 50);
+        assert_eq!(m.scan_pct(), 0);
         assert_eq!(m.update_percent(), 50);
         assert_eq!(m.label(), "u50");
     }
@@ -98,21 +193,55 @@ mod tests {
     #[test]
     fn odd_update_percent() {
         let m = OperationMix::from_update_percent(5);
-        assert_eq!(m.insert_pct + m.delete_pct, 5);
-        assert_eq!(m.find_pct, 95);
+        assert_eq!(m.insert_pct() + m.delete_pct(), 5);
+        assert_eq!(m.find_pct(), 95);
+    }
+
+    #[test]
+    fn scan_mix_takes_share_from_finds() {
+        let m = OperationMix::from_update_and_scan_percent(10, 60);
+        assert_eq!(m.insert_pct(), 5);
+        assert_eq!(m.delete_pct(), 5);
+        assert_eq!(m.find_pct(), 30);
+        assert_eq!(m.scan_pct(), 60);
+        assert_eq!(m.label(), "u10s60");
     }
 
     #[test]
     fn extremes() {
         let all = OperationMix::from_update_percent(100);
-        assert_eq!(all.find_pct, 0);
+        assert_eq!(all.find_pct(), 0);
         let none = OperationMix::from_update_percent(0);
-        assert_eq!(none.insert_pct, 0);
-        assert_eq!(none.delete_pct, 0);
+        assert_eq!(none.insert_pct(), 0);
+        assert_eq!(none.delete_pct(), 0);
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..100 {
             assert_eq!(none.sample(&mut rng), Operation::Find);
         }
+        let scans_only = OperationMix::from_update_and_scan_percent(0, 100);
+        for _ in 0..100 {
+            assert_eq!(scans_only.sample(&mut rng), Operation::Scan);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_sums() {
+        assert_eq!(
+            OperationMix::try_new(50, 50, 50, 0),
+            Err(MixError::BadSum(Some(150)))
+        );
+        assert_eq!(
+            OperationMix::try_new(10, 10, 10, 10),
+            Err(MixError::BadSum(Some(40)))
+        );
+        assert_eq!(
+            OperationMix::try_new(u32::MAX, 1, 0, 0),
+            Err(MixError::BadSum(None)),
+            "overflowing sums must be rejected, not wrapped"
+        );
+        let err = OperationMix::try_new(0, 0, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("sum to 100"), "{err}");
+        assert!(OperationMix::try_new(25, 25, 25, 25).is_ok());
     }
 
     #[test]
@@ -122,19 +251,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "must not exceed 100")]
+    fn oversubscribed_scan_share_panics() {
+        OperationMix::from_update_and_scan_percent(60, 50);
+    }
+
+    #[test]
     fn sampling_respects_proportions() {
-        let m = OperationMix::from_update_percent(20);
+        let m = OperationMix::from_update_and_scan_percent(20, 10);
         let mut rng = StdRng::seed_from_u64(1);
-        let (mut ins, mut del, mut fnd) = (0u32, 0u32, 0u32);
+        let (mut ins, mut del, mut fnd, mut scn) = (0u32, 0u32, 0u32, 0u32);
         for _ in 0..100_000 {
             match m.sample(&mut rng) {
                 Operation::Insert => ins += 1,
                 Operation::Delete => del += 1,
                 Operation::Find => fnd += 1,
+                Operation::Scan => scn += 1,
             }
         }
         assert!((9_000..11_000).contains(&ins), "ins={ins}");
         assert!((9_000..11_000).contains(&del), "del={del}");
-        assert!((78_000..82_000).contains(&fnd), "fnd={fnd}");
+        assert!((68_000..72_000).contains(&fnd), "fnd={fnd}");
+        assert!((9_000..11_000).contains(&scn), "scn={scn}");
     }
 }

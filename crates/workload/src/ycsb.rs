@@ -11,10 +11,19 @@
 //!
 //! Accordingly [`YcsbOp::Update`] is an index *read* followed by a simulated
 //! row write; only [`YcsbOp::Insert`] (Workload D-style) modifies the index.
+//!
+//! **Workload E** (95% scans / 5% inserts) is the standard scan benchmark:
+//! each scan starts at a key drawn from the request distribution and covers
+//! a request length drawn uniformly from `1..=max_scan_len` (the YCSB
+//! default is uniform 1–100).  The harness turns each scan request into a
+//! `ConcurrentMap::range` call over that key window.
 
 use rand::Rng;
 
 use crate::zipf::KeyDistribution;
+
+/// The YCSB default upper bound for uniform scan lengths (Workload E).
+pub const DEFAULT_MAX_SCAN_LEN: u64 = 100;
 
 /// The standard YCSB core workload letters reproduced here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +36,8 @@ pub enum YcsbWorkloadKind {
     C,
     /// 95% reads, 5% inserts (inserts grow the index).
     D,
+    /// 95% range scans, 5% inserts (the scan workload).
+    E,
 }
 
 /// One YCSB request.
@@ -39,13 +50,16 @@ pub enum YcsbOp {
     Update(u64),
     /// Insert a new row with `key` (modifies the index).
     Insert(u64),
+    /// Scan the rows behind the key window `[key, key + len)` (ordered index
+    /// traversal; the index is not modified).
+    Scan(u64, u64),
 }
 
 impl YcsbOp {
-    /// The key this request touches.
+    /// The key this request touches (the start key for scans).
     pub fn key(&self) -> u64 {
         match *self {
-            YcsbOp::Read(k) | YcsbOp::Update(k) | YcsbOp::Insert(k) => k,
+            YcsbOp::Read(k) | YcsbOp::Update(k) | YcsbOp::Insert(k) | YcsbOp::Scan(k, _) => k,
         }
     }
 }
@@ -56,6 +70,7 @@ pub struct YcsbWorkload {
     kind: YcsbWorkloadKind,
     request_dist: KeyDistribution,
     key_range: u64,
+    max_scan_len: u64,
 }
 
 impl YcsbWorkload {
@@ -64,6 +79,12 @@ impl YcsbWorkload {
     /// uniform request distribution).
     pub fn workload_a(records: u64, zipf_factor: f64) -> Self {
         Self::new(YcsbWorkloadKind::A, records, zipf_factor)
+    }
+
+    /// Creates the scan workload (E): 95% scans / 5% inserts, scan lengths
+    /// uniform in `1..=`[`DEFAULT_MAX_SCAN_LEN`].
+    pub fn workload_e(records: u64, zipf_factor: f64) -> Self {
+        Self::new(YcsbWorkloadKind::E, records, zipf_factor)
     }
 
     /// Creates any of the supported workloads.
@@ -78,7 +99,21 @@ impl YcsbWorkload {
             kind,
             request_dist,
             key_range: records,
+            max_scan_len: DEFAULT_MAX_SCAN_LEN,
         }
+    }
+
+    /// Sets the upper bound of the uniform `1..=max` scan-length
+    /// distribution (Workload E only; ignored by the other workloads).
+    pub fn with_max_scan_len(mut self, max: u64) -> Self {
+        assert!(max >= 1, "scan lengths are drawn from 1..=max");
+        self.max_scan_len = max;
+        self
+    }
+
+    /// The configured scan-length upper bound.
+    pub fn max_scan_len(&self) -> u64 {
+        self.max_scan_len
     }
 
     /// Number of records the index should be loaded with before the run.
@@ -98,6 +133,7 @@ impl YcsbWorkload {
             YcsbWorkloadKind::B => "ycsb-b",
             YcsbWorkloadKind::C => "ycsb-c",
             YcsbWorkloadKind::D => "ycsb-d",
+            YcsbWorkloadKind::E => "ycsb-e",
         }
     }
 
@@ -133,6 +169,14 @@ impl YcsbWorkload {
                     YcsbOp::Insert(key)
                 }
             }
+            YcsbWorkloadKind::E => {
+                if p < 95 {
+                    let len = rng.gen_range(1..=self.max_scan_len);
+                    YcsbOp::Scan(key, len)
+                } else {
+                    YcsbOp::Insert(key)
+                }
+            }
         }
     }
 }
@@ -153,6 +197,7 @@ mod tests {
                 YcsbOp::Read(_) => reads += 1,
                 YcsbOp::Update(_) => updates += 1,
                 YcsbOp::Insert(_) => inserts += 1,
+                YcsbOp::Scan(..) => panic!("workload A never scans"),
             }
         }
         assert_eq!(inserts, 0);
@@ -196,5 +241,43 @@ mod tests {
             .filter(|_| matches!(w.next_op(&mut rng), YcsbOp::Insert(_)))
             .count();
         assert!((300..800).contains(&inserts), "inserts = {inserts}");
+    }
+
+    #[test]
+    fn workload_e_is_scan_heavy_with_default_lengths() {
+        let w = YcsbWorkload::workload_e(10_000, 0.5);
+        assert_eq!(w.label(), "ycsb-e");
+        assert_eq!(w.max_scan_len(), DEFAULT_MAX_SCAN_LEN);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut scans, mut inserts) = (0u32, 0u32);
+        let mut seen_lens = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            match w.next_op(&mut rng) {
+                YcsbOp::Scan(start, len) => {
+                    assert!(start < 10_000);
+                    assert!((1..=DEFAULT_MAX_SCAN_LEN).contains(&len), "len = {len}");
+                    seen_lens.insert(len);
+                    scans += 1;
+                }
+                YcsbOp::Insert(_) => inserts += 1,
+                other => panic!("workload E only scans and inserts, got {other:?}"),
+            }
+        }
+        assert!((46_000..49_000).contains(&scans), "scans = {scans}");
+        assert!((1_500..3_500).contains(&inserts), "inserts = {inserts}");
+        // Uniform 1..=100: essentially every length shows up in 47k draws.
+        assert!(seen_lens.len() > 95, "lengths drawn: {}", seen_lens.len());
+    }
+
+    #[test]
+    fn workload_e_scan_length_is_configurable() {
+        let w = YcsbWorkload::workload_e(1_000, 0.0).with_max_scan_len(7);
+        assert_eq!(w.max_scan_len(), 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            if let YcsbOp::Scan(_, len) = w.next_op(&mut rng) {
+                assert!((1..=7).contains(&len));
+            }
+        }
     }
 }

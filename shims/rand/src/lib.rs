@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Low-level generator interface: a source of uniformly random bits.
@@ -72,11 +72,13 @@ impl Standard for u32 {
     }
 }
 
-/// Integer types [`Rng::gen_range`] can sample uniformly from a half-open
-/// range.
+/// Integer types [`Rng::gen_range`] can sample uniformly from a range.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform sample from `[lo, hi)`; `lo < hi` must hold.
     fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform sample from `[lo, hi]`; `lo <= hi` must hold.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
 /// Unbiased uniform `u64` in `[0, span)` via Lemire's widening-multiply
@@ -101,6 +103,16 @@ macro_rules! impl_sample_uniform_unsigned {
             fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
                 lo + uniform_u64(rng, (hi - lo) as u64) as $t
             }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    // Only reachable for the full u64 range.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_u64(rng, span + 1) as $t
+            }
         }
     )*};
 }
@@ -113,12 +125,46 @@ macro_rules! impl_sample_uniform_signed {
                 let span = (hi as i128 - lo as i128) as u64;
                 (lo as i128 + uniform_u64(rng, span) as i128) as $t
             }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    // Only reachable for the full i64 range.
+                    return rng.next_u64() as i64 as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
         }
     )*};
 }
 
 impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
 impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Range shapes [`Rng::gen_range`] accepts (half-open and inclusive), as in
+/// the real `rand` 0.8 API.
+pub trait SampleRange<T: SampleUniform> {
+    /// Uniform sample from the range; panics if it is empty.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
 
 /// User-facing generator interface, automatically implemented for every
 /// [`RngCore`].
@@ -128,10 +174,10 @@ pub trait Rng: RngCore {
         T::from_rng(self)
     }
 
-    /// Uniform sample from the half-open `range`; panics if it is empty.
-    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
-        assert!(range.start < range.end, "gen_range called with empty range");
-        T::sample_half_open(self, range.start, range.end)
+    /// Uniform sample from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// `range`; panics if it is empty.
+    fn gen_range<T: SampleUniform, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample(self)
     }
 
     /// Returns `true` with probability `p`.
@@ -280,6 +326,24 @@ mod tests {
         for _ in 0..1_000 {
             let v = rng.gen_range(-5..5i64);
             assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_is_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(1..=10u64);
+            assert!((1..=10).contains(&v));
+            seen[v as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bound-inclusive value drawn");
+        // Single-point and full-range extremes must not panic or bias.
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(7..=7u32), 7);
+            let _ = rng.gen_range(0..=u64::MAX);
+            let _ = rng.gen_range(i64::MIN..=i64::MAX);
         }
     }
 

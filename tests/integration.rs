@@ -25,6 +25,7 @@ fn harness_validates_every_structure_under_skewed_update_heavy_load() {
             threads: 4,
             duration: Duration::from_millis(80),
             seed: 0xFEED,
+            ..Default::default()
         };
         let result = run_microbench(&cfg);
         assert!(result.validated, "{name} failed key-sum validation");
@@ -178,8 +179,10 @@ fn workload_generators_drive_real_structures() {
     use rand::prelude::*;
     let tree: ElimABTree = ElimABTree::new();
     let dist = KeyDistribution::zipfian(10_000, 1.0);
-    let mix = OperationMix::from_update_percent(50);
+    let mix = OperationMix::from_update_and_scan_percent(50, 10);
     let mut rng = StdRng::seed_from_u64(0);
+    let mut scan_buf = Vec::new();
+    let mut scans = 0u32;
     for _ in 0..50_000 {
         let k = dist.sample(&mut rng);
         match mix.sample(&mut rng) {
@@ -192,7 +195,13 @@ fn workload_generators_drive_real_structures() {
             elim_abtree_repro::workload::Operation::Find => {
                 tree.get(k);
             }
+            elim_abtree_repro::workload::Operation::Scan => {
+                tree.range(k, k + 99, &mut scan_buf);
+                assert!(scan_buf.windows(2).all(|w| w[0].0 < w[1].0));
+                scans += 1;
+            }
         }
     }
+    assert!(scans > 0, "the scan share of the mix must be exercised");
     tree.check_invariants().unwrap();
 }
