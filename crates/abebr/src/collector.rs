@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 use crossbeam_utils::CachePadded;
 
 use crate::guard::Guard;
-use crate::local::{Bag, LocalHandle};
+use crate::local::{Bag, Local, LocalHandle};
 use crate::{MAX_THREADS, QUIESCENT};
 
 /// One registration slot per participating thread.
@@ -46,6 +46,13 @@ pub(crate) struct Inner {
     pub(crate) retired: AtomicU64,
     /// Total objects freed (statistics).
     pub(crate) freed: AtomicU64,
+    /// Pins (and registrations) that went through the full thread registry:
+    /// every [`Collector::pin`] call plus every slot registration.
+    pub(crate) registry_pins: AtomicU64,
+    /// Cheap local re-pins served by already-held registrations.  Updated
+    /// lazily: each thread counts locally and flushes the total when its
+    /// registration drops, so this lags until handles/threads exit.
+    pub(crate) local_pins: AtomicU64,
 }
 
 impl Inner {
@@ -60,12 +67,21 @@ impl Inner {
             stash: Mutex::new(Vec::new()),
             retired: AtomicU64::new(0),
             freed: AtomicU64::new(0),
+            registry_pins: AtomicU64::new(0),
+            local_pins: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one interaction with the full thread registry (a registration
+    /// or a registry-cached pin).
+    pub(crate) fn count_registry_pin(&self) {
+        self.registry_pins.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Claims a free slot for the calling thread.  Panics if more than
     /// [`MAX_THREADS`] threads register simultaneously.
     pub(crate) fn register(&self) -> usize {
+        self.count_registry_pin();
         for (i, slot) in self.slots.iter().enumerate() {
             if !slot.in_use.load(Ordering::Relaxed)
                 && slot
@@ -164,6 +180,18 @@ pub struct CollectorStats {
     pub retired: u64,
     /// Total number of objects freed so far.
     pub freed: u64,
+    /// Pins that interacted with the full thread registry: one per
+    /// [`Collector::pin`] call (thread-local lookup) plus one per slot
+    /// registration (including [`Collector::register`]).  A handle-driven
+    /// workload therefore accrues ~1 of these per thread, a pin-per-op
+    /// workload one per operation.  Registrations are counted immediately;
+    /// the per-call portion is flushed lazily like `local_pins`.
+    pub registry_pins: u64,
+    /// Cheap local re-pins made through owned [`crate::LocalHandle`]s.
+    /// Each thread counts privately and flushes the tally when its
+    /// registration drops, so this is exact only once the handles (or
+    /// threads) that pinned have gone away.
+    pub local_pins: u64,
 }
 
 /// An epoch-based garbage collector shared by all threads operating on one
@@ -183,10 +211,10 @@ impl Default for Collector {
 }
 
 thread_local! {
-    /// Per-thread cache of local handles, keyed by collector identity.
-    /// Handles are dropped (unregistering their slot and stashing leftover
-    /// garbage) when the thread exits.
-    static LOCALS: RefCell<HashMap<usize, Rc<LocalHandle>>> = RefCell::new(HashMap::new());
+    /// Per-thread cache of registrations, keyed by collector identity.
+    /// Registrations are dropped (unregistering their slot and stashing
+    /// leftover garbage) when the thread exits.
+    static LOCALS: RefCell<HashMap<usize, Rc<Local>>> = RefCell::new(HashMap::new());
 }
 
 impl Collector {
@@ -202,16 +230,16 @@ impl Collector {
     }
 
     /// Returns (creating and registering if necessary) the calling thread's
-    /// local handle for this collector.
-    fn local(&self) -> Rc<LocalHandle> {
+    /// cached registration for this collector.
+    fn local(&self) -> Rc<Local> {
         LOCALS.with(|locals| {
             let mut map = locals.borrow_mut();
             if let Some(h) = map.get(&self.key()) {
                 return Rc::clone(h);
             }
-            let handle = Rc::new(LocalHandle::register(Arc::clone(&self.inner)));
-            map.insert(self.key(), Rc::clone(&handle));
-            handle
+            let local = Rc::new(Local::register(Arc::clone(&self.inner)));
+            map.insert(self.key(), Rc::clone(&local));
+            local
         })
     }
 
@@ -219,10 +247,25 @@ impl Collector {
     /// exists on this thread, memory retired by other threads after the pin
     /// will not be freed, so pointers read from the shared structure remain
     /// valid for the guard's lifetime.
+    ///
+    /// Every call looks the thread up in a thread-local registry.  Callers
+    /// that pin per operation should instead hold a [`LocalHandle`] from
+    /// [`Collector::register`], whose `pin` skips the lookup.
     pub fn pin(&self) -> Guard {
         let local = self.local();
-        LocalHandle::pin(&local);
+        local.count_registry_pin();
+        Local::pin(&local);
         Guard::new(local)
+    }
+
+    /// Registers the calling thread once and returns an **owned**
+    /// [`LocalHandle`] whose [`pin`](LocalHandle::pin) is a cheap local
+    /// epoch announcement with no registry lookup.  This is the intended
+    /// fast path for session-style callers (one handle per worker thread);
+    /// each call claims a fresh slot, so a thread may hold several
+    /// independent handles.
+    pub fn register(&self) -> LocalHandle {
+        LocalHandle::new(Arc::clone(&self.inner))
     }
 
     /// Attempts to advance the epoch and reclaim any garbage (both the
@@ -232,12 +275,16 @@ impl Collector {
         local.flush();
     }
 
-    /// Returns current statistics (epoch, retired and freed object counts).
+    /// Returns current statistics (epoch, retired/freed object counts, and
+    /// the registry-pin vs local re-pin tallies; see [`CollectorStats`] for
+    /// the flushing caveat on `local_pins`).
     pub fn stats(&self) -> CollectorStats {
         CollectorStats {
             epoch: self.inner.epoch.load(Ordering::SeqCst),
             retired: self.inner.retired.load(Ordering::Relaxed),
             freed: self.inner.freed.load(Ordering::Relaxed),
+            registry_pins: self.inner.registry_pins.load(Ordering::Relaxed),
+            local_pins: self.inner.local_pins.load(Ordering::Relaxed),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::rc::Rc;
 
-use crate::local::{Garbage, LocalHandle};
+use crate::local::{Garbage, Local};
 
 /// A guard keeping the current thread pinned.
 ///
@@ -14,11 +14,11 @@ use crate::local::{Garbage, LocalHandle};
 /// created it.
 #[derive(Debug)]
 pub struct Guard {
-    local: Rc<LocalHandle>,
+    local: Rc<Local>,
 }
 
 impl Guard {
-    pub(crate) fn new(local: Rc<LocalHandle>) -> Self {
+    pub(crate) fn new(local: Rc<Local>) -> Self {
         Self { local }
     }
 

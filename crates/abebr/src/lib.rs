@@ -34,6 +34,30 @@
 //! drop(guard);
 //! collector.flush(); // optional: try to advance and reclaim promptly
 //! ```
+//!
+//! # The two pin paths
+//!
+//! [`Collector::pin`] looks the calling thread up in a thread-local registry
+//! on **every** call, which is convenient but costs a hash-map probe per
+//! pin.  Session-style callers (the per-thread [`MapHandle`] sessions of the
+//! `abtree` crate) instead call [`Collector::register`] once per thread and
+//! pin through the returned owned [`LocalHandle`]:
+//!
+//! ```
+//! use abebr::Collector;
+//!
+//! let collector = Collector::new();
+//! let local = collector.register(); // one registry interaction
+//! for _ in 0..1_000 {
+//!     let _guard = local.pin(); // cheap local epoch announcement
+//! }
+//! ```
+//!
+//! [`CollectorStats::registry_pins`] and [`CollectorStats::local_pins`]
+//! count the two paths separately, so a workload can assert it pays the
+//! registry cost once per thread rather than once per operation.
+//!
+//! [`MapHandle`]: https://docs.rs/abtree (the `abtree::MapHandle` sessions)
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -220,6 +244,47 @@ mod tests {
             collector.flush();
         }
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn registry_vs_local_pin_accounting() {
+        let collector = Collector::new();
+        const OPS: u64 = 500;
+        // Pin-per-op path: every pin pays a registry lookup.
+        let c2 = collector.clone();
+        std::thread::spawn(move || {
+            for _ in 0..OPS {
+                let _g = c2.pin();
+            }
+        })
+        .join()
+        .unwrap();
+        let s = collector.stats();
+        assert!(
+            s.registry_pins >= OPS,
+            "Collector::pin must count registry pins (got {})",
+            s.registry_pins
+        );
+        assert_eq!(s.local_pins, 0);
+
+        // Handle path: one registration, then cheap local re-pins only.
+        let before = collector.stats().registry_pins;
+        let c2 = collector.clone();
+        std::thread::spawn(move || {
+            let local = c2.register();
+            for _ in 0..OPS {
+                let _g = local.pin();
+            }
+        })
+        .join()
+        .unwrap();
+        let s = collector.stats();
+        assert_eq!(
+            s.registry_pins - before,
+            1,
+            "a handle-driven loop must interact with the registry exactly once"
+        );
+        assert_eq!(s.local_pins, OPS, "local re-pins flushed on handle drop");
     }
 
     #[test]

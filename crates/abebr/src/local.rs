@@ -8,6 +8,7 @@ use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
 use crate::collector::Inner;
+use crate::guard::Guard;
 use crate::{COLLECT_THRESHOLD, QUIESCENT};
 
 /// A single piece of retired garbage: either a heap object to drop or an
@@ -78,22 +79,34 @@ impl Bag {
     }
 }
 
-/// Per-thread handle onto a [`crate::Collector`].
+/// Per-thread registration state behind both pin paths (the thread-registry
+/// cache used by [`crate::Collector::pin`] and the owned [`LocalHandle`]).
 ///
-/// Handles are created lazily on first pin, cached in a thread-local map and
-/// dropped (unregistering the slot) when the thread exits.
+/// Registered lazily, cached behind `Rc` so that [`Guard`]s can keep it alive
+/// past a [`LocalHandle`] drop, and unregistered (stashing leftover garbage)
+/// when the last reference goes away.
 #[derive(Debug)]
-pub struct LocalHandle {
+pub(crate) struct Local {
     inner: Arc<Inner>,
     slot: usize,
     pin_depth: Cell<usize>,
     /// Bags of retired garbage ordered by retirement epoch (front = oldest).
     bags: RefCell<VecDeque<Bag>>,
     retired_since_collect: Cell<usize>,
+    /// Pins served through this registration without touching the thread
+    /// registry (cheap local re-pins).  Flushed into the collector's shared
+    /// counter when the registration drops, so per-op pins never write a
+    /// shared cache line.
+    local_pins: Cell<u64>,
+    /// Pins that reached this registration through the thread-registry
+    /// lookup of [`crate::Collector::pin`].  Counted per thread and flushed
+    /// on drop for the same reason as `local_pins`: even the legacy pin
+    /// path should not add a shared-cache-line write per operation.
+    registry_pins: Cell<u64>,
 }
 
-impl LocalHandle {
-    /// Registers the calling thread with `inner` and returns its handle.
+impl Local {
+    /// Registers the calling thread with `inner` and returns its state.
     pub(crate) fn register(inner: Arc<Inner>) -> Self {
         let slot = inner.register();
         Self {
@@ -102,7 +115,19 @@ impl LocalHandle {
             pin_depth: Cell::new(0),
             bags: RefCell::new(VecDeque::new()),
             retired_since_collect: Cell::new(0),
+            local_pins: Cell::new(0),
+            registry_pins: Cell::new(0),
         }
+    }
+
+    /// Counts one cheap re-pin through an already-held registration.
+    pub(crate) fn count_local_pin(&self) {
+        self.local_pins.set(self.local_pins.get() + 1);
+    }
+
+    /// Counts one pin that went through the thread registry.
+    pub(crate) fn count_registry_pin(&self) {
+        self.registry_pins.set(self.registry_pins.get() + 1);
     }
 
     /// Enters a pinned region (reentrant).
@@ -132,8 +157,8 @@ impl LocalHandle {
         self.pin_depth.set(depth - 1);
     }
 
-    /// Is the owning thread currently pinned?
-    pub fn is_pinned(&self) -> bool {
+    /// Is the owning thread currently pinned through this registration?
+    pub(crate) fn is_pinned(&self) -> bool {
         self.pin_depth.get() > 0
     }
 
@@ -191,24 +216,84 @@ impl LocalHandle {
 
     /// Number of garbage objects currently buffered by this thread
     /// (diagnostics for tests).
-    pub fn pending(&self) -> usize {
+    pub(crate) fn pending(&self) -> usize {
         self.bags.borrow().iter().map(Bag::len).sum()
     }
 }
 
-impl Drop for LocalHandle {
+impl Drop for Local {
     fn drop(&mut self) {
         debug_assert_eq!(
             self.pin_depth.get(),
             0,
             "thread exited while pinned (a Guard outlived its thread?)"
         );
+        self.inner
+            .local_pins
+            .fetch_add(self.local_pins.get(), Ordering::Relaxed);
+        self.inner
+            .registry_pins
+            .fetch_add(self.registry_pins.get(), Ordering::Relaxed);
         let leftover: Vec<Bag> = self.bags.borrow_mut().drain(..).collect();
         self.inner.unregister(self.slot, leftover);
         // Give the garbage we just stashed a chance to be freed promptly if
         // it is already safe.
         let global = self.inner.try_advance();
         self.inner.collect_stash(global);
+    }
+}
+
+/// An **owned** per-thread registration with a [`crate::Collector`]: the fast
+/// pin path for session-style callers.
+///
+/// [`crate::Collector::pin`] has to look the calling thread up in a
+/// thread-local registry on every call.  A `LocalHandle`, obtained once per
+/// thread via [`crate::Collector::register`], skips that lookup entirely:
+/// [`LocalHandle::pin`] is a plain epoch announcement (one uncontended store
+/// plus a fence), which is what makes per-operation pinning cheap enough for
+/// the per-thread map sessions built on top of this crate.
+///
+/// A `LocalHandle` is `!Send`: like a [`Guard`], it belongs to the thread
+/// that registered it.  Dropping the handle while one of its guards is still
+/// alive is safe — the registration stays alive (and the thread stays
+/// pinned) until the last guard drops, after which the slot is released and
+/// leftover garbage is stashed with the collector.
+#[derive(Debug)]
+pub struct LocalHandle {
+    local: Rc<Local>,
+}
+
+impl LocalHandle {
+    /// Registers a fresh slot with `inner`.
+    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+        Self {
+            local: Rc::new(Local::register(inner)),
+        }
+    }
+
+    /// Pins the owning thread without consulting the thread registry: a
+    /// cheap local epoch announcement.  Reentrant; see [`Guard`] for the
+    /// guarantees the pin provides.
+    pub fn pin(&self) -> Guard {
+        self.local.count_local_pin();
+        Local::pin(&self.local);
+        Guard::new(Rc::clone(&self.local))
+    }
+
+    /// Is this thread currently pinned through this registration?
+    pub fn is_pinned(&self) -> bool {
+        self.local.is_pinned()
+    }
+
+    /// Number of garbage objects buffered by this registration (testing).
+    pub fn pending(&self) -> usize {
+        self.local.pending()
+    }
+
+    /// Attempts to advance the epoch and reclaim garbage that has become
+    /// safe (this registration's bags plus the shared stash).
+    pub fn flush(&self) {
+        self.local.flush();
     }
 }
 
@@ -251,5 +336,61 @@ mod tests {
             collector.flush();
         }
         assert_eq!(collector.stats().freed, 2);
+    }
+
+    #[test]
+    fn owned_handle_pins_and_retires() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        assert!(!handle.is_pinned());
+        {
+            let guard = handle.pin();
+            assert!(handle.is_pinned());
+            let p = Box::into_raw(Box::new(3u8));
+            unsafe { guard.defer_drop(p) };
+            assert_eq!(handle.pending(), 1);
+        }
+        assert!(!handle.is_pinned());
+        drop(handle);
+        for _ in 0..8 {
+            collector.flush();
+        }
+        assert_eq!(collector.stats().freed, 1);
+    }
+
+    #[test]
+    fn dropping_handle_while_pinned_keeps_registration_alive() {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let guard = handle.pin();
+        // The guard keeps the registration (and the pin) alive past the
+        // handle's drop.
+        drop(handle);
+        assert!(collector.debug_any_thread_pinned());
+        let p = Box::into_raw(Box::new(4u8));
+        unsafe { guard.defer_drop(p) };
+        drop(guard);
+        assert!(!collector.debug_any_thread_pinned());
+        for _ in 0..8 {
+            collector.flush();
+        }
+        assert_eq!(collector.stats().freed, 1);
+    }
+
+    #[test]
+    fn two_handles_on_one_thread_are_independent() {
+        let collector = Collector::new();
+        let h1 = collector.register();
+        let h2 = collector.register();
+        let g1 = h1.pin();
+        assert!(h1.is_pinned());
+        assert!(!h2.is_pinned(), "handles own distinct registrations");
+        let g2 = h2.pin();
+        assert!(h2.is_pinned());
+        drop(g1);
+        assert!(!h1.is_pinned());
+        assert!(h2.is_pinned());
+        drop(g2);
+        assert!(!collector.debug_any_thread_pinned());
     }
 }

@@ -7,14 +7,14 @@
 //! memory states the paper reasons about, by applying the persisted half of
 //! an update and skipping the volatile half:
 //!
-//! * [`force_partial_insert`] — a simple insert whose key and value were
+//! * [`AbTree::force_partial_insert`] — a simple insert whose key and value were
 //!   flushed, but which crashed before the second version increment and the
 //!   `size` update.  Strict linearizability requires this insert to be
 //!   linearized *at the crash*, i.e. recovery must surface the key.
-//! * [`force_partial_delete`] — a successful delete whose emptied key slot
+//! * [`AbTree::force_partial_delete`] — a successful delete whose emptied key slot
 //!   was flushed but which crashed before completing.  Recovery must *not*
 //!   resurrect the key.
-//! * [`force_dirty_root_link`] — a structural update that crashed after
+//! * [`AbTree::force_dirty_root_link`] — a structural update that crashed after
 //!   writing (and flushing) a new child pointer but before clearing its
 //!   link-and-persist dirty mark.  Recovery must clear the mark.
 //!
@@ -37,7 +37,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// Returns `false` (leaving the tree untouched) if the key is already
     /// present or the target leaf has no free slot.
     pub fn force_partial_insert(&self, key: u64, value: u64) -> bool {
-        let guard = self.collector.pin();
+        // Single-threaded maintenance: a throwaway registration is fine here
+        // and keeps the per-operation paths free of registry pins.
+        let local = self.collector.register();
+        let guard = local.pin();
         let path = self.search(key, std::ptr::null_mut(), &guard);
         // SAFETY: single-threaded access per the module contract.
         let leaf = unsafe { self.deref(path.n, &guard) };
@@ -62,7 +65,8 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     ///
     /// Returns `false` (leaving the tree untouched) if the key is absent.
     pub fn force_partial_delete(&self, key: u64) -> bool {
-        let guard = self.collector.pin();
+        let local = self.collector.register();
+        let guard = local.pin();
         let path = self.search(key, std::ptr::null_mut(), &guard);
         // SAFETY: single-threaded access per the module contract.
         let leaf = unsafe { self.deref(path.n, &guard) };
@@ -119,6 +123,7 @@ mod tests {
     #[test]
     fn partial_insert_then_recover_surfaces_the_key() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         for k in 0..100u64 {
             t.insert(k, k);
         }
@@ -134,6 +139,7 @@ mod tests {
     #[test]
     fn partial_delete_then_recover_drops_the_key() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         for k in 0..100u64 {
             t.insert(k, k);
         }
@@ -147,6 +153,7 @@ mod tests {
     #[test]
     fn dirty_link_is_cleared_by_recovery() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         for k in 0..2_000u64 {
             t.insert(k, k);
         }
@@ -161,6 +168,7 @@ mod tests {
     #[test]
     fn force_helpers_reject_invalid_targets() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         t.insert(5, 5);
         assert!(!t.force_partial_insert(5, 99), "key already present");
         assert!(!t.force_partial_delete(6), "key absent");

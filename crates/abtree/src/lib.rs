@@ -27,6 +27,25 @@
 //! is the default.  The lock-type ablation benchmark instantiates the TATAS
 //! variant.
 //!
+//! # Sessions: the map/handle split
+//!
+//! Like the paper's C++ engine — which threads a per-worker context (EBR
+//! slot, elimination scratch, RNG) through every operation — the API is split
+//! in two levels:
+//!
+//! * the **shared map** (the tree itself, [`ConcurrentMap`]): construction,
+//!   [`name`](ConcurrentMap::name), and the quiescent accessors
+//!   ([`KeySum`], `len`, `collect`, `check_invariants`, ...);
+//! * a **per-thread session handle** ([`MapHandle`], concretely
+//!   [`TreeHandle`]), obtained once per worker via `map.handle()`, through
+//!   which all point and range operations run.  The handle owns the
+//!   thread's epoch-reclamation registration (so each operation pins with a
+//!   cheap local epoch announcement instead of a thread-registry lookup), a
+//!   reusable scan buffer, and per-thread elimination/RNG scratch.
+//!
+//! [`TreeHandle`] dereferences to the tree, so a handle can also be used
+//! wherever quiescent read-only access to the shared map is needed.
+//!
 //! # Keys and values
 //!
 //! Like the paper's evaluation, the engine stores 8-byte keys and 8-byte
@@ -38,14 +57,15 @@
 //! # Example
 //!
 //! ```
-//! use abtree::{ElimABTree, ConcurrentMap};
+//! use abtree::ElimABTree;
 //!
 //! let tree: ElimABTree = ElimABTree::new();
-//! assert_eq!(tree.insert(10, 100), None);
-//! assert_eq!(tree.insert(10, 200), Some(100)); // already present
-//! assert_eq!(tree.get(10), Some(100));
-//! assert_eq!(tree.delete(10), Some(100));
-//! assert_eq!(tree.get(10), None);
+//! let mut session = tree.handle(); // one per thread
+//! assert_eq!(session.insert(10, 100), None);
+//! assert_eq!(session.insert(10, 200), Some(100)); // already present
+//! assert_eq!(session.get(10), Some(100));
+//! assert_eq!(session.delete(10), Some(100));
+//! assert_eq!(session.get(10), None);
 //! ```
 
 #![warn(missing_docs)]
@@ -53,6 +73,7 @@
 
 #[doc(hidden)]
 pub mod crashsim;
+pub mod handle;
 pub(crate) mod node;
 pub mod persist;
 pub mod rebalance;
@@ -79,9 +100,10 @@ pub const EMPTY_KEY: u64 = u64::MAX;
 // enforced at compile time.
 const _: () = assert!(MIN_KEYS >= 2 && MIN_KEYS <= MAX_KEYS / 2);
 
+pub use handle::{HandleRng, TreeHandle};
 pub use persist::{Persist, VolatilePersist};
 pub use tree::AbTree;
-pub use typed::{KeyCodec, TypedTree, ValueCodec};
+pub use typed::{KeyCodec, TypedHandle, TypedTree, ValueCodec};
 pub use validate::TreeStats;
 
 /// The OCC-ABtree of paper §3 (no elimination), with MCS node locks.
@@ -90,11 +112,18 @@ pub type OccABTree<L = McsLock> = AbTree<false, L, VolatilePersist>;
 /// The Elim-ABtree of paper §4 (publishing elimination), with MCS node locks.
 pub type ElimABTree<L = McsLock> = AbTree<true, L, VolatilePersist>;
 
-/// A concurrent ordered dictionary over 8-byte keys and values.
+/// A per-thread session on a concurrent ordered dictionary over 8-byte keys
+/// and values.
 ///
-/// This is the common interface the benchmark harness drives; every data
-/// structure in this repository (the paper's trees, the persistent trees and
-/// all baselines) implements it.  Semantics follow the paper's §3:
+/// Handles are obtained from [`ConcurrentMap::handle`], one per worker
+/// thread, and hold that thread's operation state: its epoch-reclamation
+/// registration, a reusable scan buffer, and any per-thread scratch the
+/// structure needs (elimination buffers, RNG).  Operations therefore take
+/// `&mut self`; a handle must not be shared across threads (and cannot be —
+/// handles are `!Send` by construction since they own thread-bound
+/// reclamation state).
+///
+/// Semantics follow the paper's §3:
 ///
 /// * **`insert(k, v)` rejects rather than replaces**: it returns the
 ///   *existing* value if `k` was already present — in which case the map is
@@ -105,19 +134,19 @@ pub type ElimABTree<L = McsLock> = AbTree<true, L, VolatilePersist>;
 ///   harness must implement them;
 /// * `delete(k)` returns the removed value, or `None` if `k` was absent;
 /// * `get(k)` returns the current value associated with `k`, if any.
-pub trait ConcurrentMap: Send + Sync {
+pub trait MapHandle {
     /// Inserts `key -> value` if `key` is absent; returns the existing value
     /// (leaving it **unchanged** — insert never overwrites) otherwise.
-    fn insert(&self, key: u64, value: u64) -> Option<u64>;
+    fn insert(&mut self, key: u64, value: u64) -> Option<u64>;
 
     /// Removes `key`, returning its value if it was present.
-    fn delete(&self, key: u64) -> Option<u64>;
+    fn delete(&mut self, key: u64) -> Option<u64>;
 
     /// Returns the value associated with `key`, if any.
-    fn get(&self, key: u64) -> Option<u64>;
+    fn get(&mut self, key: u64) -> Option<u64>;
 
     /// Returns `true` if `key` is present.
-    fn contains(&self, key: u64) -> bool {
+    fn contains(&mut self, key: u64) -> bool {
         self.get(key).is_some()
     }
 
@@ -125,41 +154,189 @@ pub trait ConcurrentMap: Send + Sync {
     /// sorted by key (`out` is cleared first).  `lo > hi` yields an empty
     /// result.
     ///
-    /// The default implementation probes every key in the window with
-    /// [`get`](Self::get), so it costs `O(hi - lo)` point lookups and each
-    /// element is only individually (not jointly) linearizable.  Structures
-    /// with native scans override this with an ordered traversal; the
-    /// (a,b)-trees additionally validate node versions so the whole result is
-    /// a linearizable snapshot.  Callers should keep windows modest when the
-    /// fallback may be in use (the YCSB-E scan lengths are <= a few hundred).
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
-        out.clear();
-        if lo > hi {
-            return;
-        }
-        // EMPTY_KEY is reserved in every structure driven by the harness.
-        let hi = hi.min(EMPTY_KEY - 1);
-        for key in lo..=hi {
-            if let Some(value) = self.get(key) {
-                out.push((key, value));
-            }
-        }
+    /// The default implementation is [`fallback_range`]: it probes every key
+    /// in the window with [`get`](Self::get), so it costs `O(hi - lo)` point
+    /// lookups and each element is only individually (not jointly)
+    /// linearizable.  Structures with native scans override this with an
+    /// ordered traversal; the (a,b)-trees additionally validate node
+    /// versions so the whole result is a linearizable snapshot.  Callers
+    /// should keep windows modest when the fallback may be in use (the
+    /// YCSB-E scan lengths are <= a few hundred).
+    fn range(&mut self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        fallback_range(|key| self.get(key), lo, hi, out)
     }
 
     /// Convenience wrapper over [`range`](Self::range): the number of keys
     /// stored in the window `[lo, lo + len)`, the shape of a YCSB-E scan
-    /// request.
-    fn scan_len(&self, lo: u64, len: u64) -> usize {
+    /// request.  Collects into the handle's reusable scan buffer, so it
+    /// allocates at most once per handle, not once per call.
+    fn scan_len(&mut self, lo: u64, len: u64) -> usize {
         if len == 0 {
             return 0;
         }
-        let mut out = Vec::new();
-        self.range(lo, lo.saturating_add(len - 1), &mut out);
-        out.len()
+        let mut buf = self.take_scan_buf();
+        self.range(lo, lo.saturating_add(len - 1), &mut buf);
+        let n = buf.len();
+        self.put_scan_buf(buf);
+        n
     }
+
+    /// Detaches the handle's reusable scan buffer (plumbing for the default
+    /// [`scan_len`](Self::scan_len); pair with
+    /// [`put_scan_buf`](Self::put_scan_buf)).
+    fn take_scan_buf(&mut self) -> Vec<(u64, u64)>;
+
+    /// Returns a buffer taken with [`take_scan_buf`](Self::take_scan_buf) so
+    /// its capacity is reused by the next scan.
+    fn put_scan_buf(&mut self, buf: Vec<(u64, u64)>);
+}
+
+/// The point-lookup fallback behind [`MapHandle::range`]'s default: probes
+/// every key in `[lo, hi]` (clamped below the reserved [`EMPTY_KEY`]) with
+/// `get` and appends the hits to `out` (cleared first), in key order.
+///
+/// Exposed so alternative session implementations (e.g. the baseline
+/// structures' internal session plumbing) can share the one copy of the
+/// clamp-and-probe rule instead of re-implementing it.
+pub fn fallback_range(
+    mut get: impl FnMut(u64) -> Option<u64>,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<(u64, u64)>,
+) {
+    out.clear();
+    if lo > hi {
+        return;
+    }
+    // EMPTY_KEY is reserved in every structure driven by the harness.
+    let hi = hi.min(EMPTY_KEY - 1);
+    for key in lo..=hi {
+        if let Some(value) = get(key) {
+            out.push((key, value));
+        }
+    }
+}
+
+/// The shared, thread-safe side of a concurrent ordered dictionary: a
+/// factory for per-thread [`MapHandle`] sessions plus the structure's
+/// benchmark name.
+///
+/// This is the interface the benchmark harness drives; every data structure
+/// in this repository (the paper's trees, the persistent trees and all
+/// baselines) implements it.  Each worker thread calls
+/// [`handle`](ConcurrentMap::handle) once and runs its whole workload
+/// through the returned session.  Quiescent validation goes through the
+/// separate [`KeySum`] trait.
+pub trait ConcurrentMap: Send + Sync {
+    /// Opens a per-thread session.  Cheap but not free (it registers the
+    /// thread with the structure's memory-reclamation collector and sets up
+    /// scratch buffers): call it once per thread, not once per operation.
+    fn handle(&self) -> Box<dyn MapHandle + '_>;
 
     /// Short name used in benchmark output (e.g. `"elim-abtree"`).
     fn name(&self) -> &'static str;
+}
+
+/// Boxed sessions are sessions too, so `Box<dyn MapHandle>` (what
+/// [`ConcurrentMap::handle`] returns) can flow into generic code written
+/// against `H: MapHandle`.
+impl<H: MapHandle + ?Sized> MapHandle for Box<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        (**self).insert(key, value)
+    }
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        (**self).delete(key)
+    }
+    fn get(&mut self, key: u64) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn contains(&mut self, key: u64) -> bool {
+        (**self).contains(key)
+    }
+    fn range(&mut self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        (**self).range(lo, hi, out)
+    }
+    fn scan_len(&mut self, lo: u64, len: u64) -> usize {
+        (**self).scan_len(lo, len)
+    }
+    fn take_scan_buf(&mut self) -> Vec<(u64, u64)> {
+        (**self).take_scan_buf()
+    }
+    fn put_scan_buf(&mut self, buf: Vec<(u64, u64)>) {
+        (**self).put_scan_buf(buf)
+    }
+}
+
+/// Statically-dispatched sibling of [`ConcurrentMap`]: a map whose concrete
+/// per-thread session type is known at compile time.
+///
+/// [`ConcurrentMap::handle`] must stay object-safe for the benchmark
+/// registry's `Box<dyn Benchable>` values, so it returns a boxed session
+/// and every operation through it is a virtual call.  Generic code that
+/// holds a concrete map type (the Criterion ablation benches, the typed
+/// wrapper) can instead bound on `SessionMap` and open a monomorphized
+/// session, keeping the per-op overhead this crate's session API exists to
+/// remove.  Not object-safe (by design); implemented by the trees (session
+/// type [`TreeHandle`]).
+pub trait SessionMap: ConcurrentMap {
+    /// The concrete session type.
+    type Session<'m>: MapHandle
+    where
+        Self: 'm;
+
+    /// Opens a concrete, statically-dispatched per-thread session
+    /// (semantics of [`ConcurrentMap::handle`]).
+    fn session(&self) -> Self::Session<'_>;
+}
+
+/// Deprecated compatibility view of the pre-session API: drives a
+/// [`ConcurrentMap`] through `&self` methods by opening a throwaway
+/// [`MapHandle`] **per call**.
+///
+/// This keeps old call sites compiling while they migrate, but it pays a
+/// collector registration on every operation — the exact overhead the
+/// session API removes — so it is strictly a migration aid.  Open a handle
+/// per thread instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "open a per-thread session with `ConcurrentMap::handle` instead of \
+            calling operations on the shared map"
+)]
+pub trait LegacyMap {
+    /// `insert` through a throwaway session (see [`MapHandle::insert`]).
+    fn insert(&self, key: u64, value: u64) -> Option<u64>;
+    /// `delete` through a throwaway session (see [`MapHandle::delete`]).
+    fn delete(&self, key: u64) -> Option<u64>;
+    /// `get` through a throwaway session (see [`MapHandle::get`]).
+    fn get(&self, key: u64) -> Option<u64>;
+    /// `contains` through a throwaway session.
+    fn contains(&self, key: u64) -> bool;
+    /// `range` through a throwaway session (see [`MapHandle::range`]).
+    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>);
+    /// `scan_len` through a throwaway session.
+    fn scan_len(&self, lo: u64, len: u64) -> usize;
+}
+
+#[allow(deprecated)]
+impl<M: ConcurrentMap + ?Sized> LegacyMap for M {
+    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        self.handle().insert(key, value)
+    }
+    fn delete(&self, key: u64) -> Option<u64> {
+        self.handle().delete(key)
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        self.handle().get(key)
+    }
+    fn contains(&self, key: u64) -> bool {
+        self.handle().contains(key)
+    }
+    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        self.handle().range(lo, hi, out)
+    }
+    fn scan_len(&self, lo: u64, len: u64) -> usize {
+        self.handle().scan_len(lo, len)
+    }
 }
 
 /// A map that can report the sum of its keys, the accessor behind the
@@ -184,9 +361,28 @@ mod tests {
     fn type_aliases_compile_and_work() {
         let occ: OccABTree = OccABTree::new();
         let elim: ElimABTree = ElimABTree::new();
-        assert_eq!(occ.insert(1, 2), None);
-        assert_eq!(elim.insert(1, 2), None);
-        assert_eq!(occ.get(1), Some(2));
-        assert_eq!(elim.get(1), Some(2));
+        let mut occ_h = occ.handle();
+        let mut elim_h = elim.handle();
+        assert_eq!(occ_h.insert(1, 2), None);
+        assert_eq!(elim_h.insert(1, 2), None);
+        assert_eq!(occ_h.get(1), Some(2));
+        assert_eq!(elim_h.get(1), Some(2));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_opens_a_session_per_call() {
+        let tree: ElimABTree = ElimABTree::new();
+        let map: &dyn ConcurrentMap = &tree;
+        // The deprecated &self API still works for unmigrated callers.
+        assert_eq!(LegacyMap::insert(map, 7, 70), None);
+        assert_eq!(LegacyMap::get(map, 7), Some(70));
+        assert!(LegacyMap::contains(map, 7));
+        let mut out = Vec::new();
+        LegacyMap::range(map, 0, 10, &mut out);
+        assert_eq!(out, vec![(7, 70)]);
+        assert_eq!(LegacyMap::scan_len(map, 0, 10), 1);
+        assert_eq!(LegacyMap::delete(map, 7), Some(70));
+        assert_eq!(LegacyMap::get(map, 7), None);
     }
 }

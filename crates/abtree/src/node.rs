@@ -321,13 +321,19 @@ impl<L: RawNodeLock> Node<L> {
     /// tree must be quiescent).
     pub(crate) fn locked_entries(&self) -> Vec<(u64, u64)> {
         let mut out = Vec::with_capacity(self.len());
+        self.locked_entries_into(&mut out);
+        out
+    }
+
+    /// Appends all key/value pairs to `out` (same locking contract as
+    /// [`Node::locked_entries`]); lets hot paths reuse a scratch buffer.
+    pub(crate) fn locked_entries_into(&self, out: &mut Vec<(u64, u64)>) {
         for i in 0..MAX_KEYS {
             let k = self.key(i);
             if k != EMPTY_KEY {
                 out.push((k, self.val(i)));
             }
         }
-        out
     }
 
     // ----- publishing elimination record ----------------------------------

@@ -504,6 +504,7 @@ mod tests {
     #[test]
     fn grow_then_shrink_occ() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         const N: u64 = 5_000;
         for k in 0..N {
             t.insert(k, k);
@@ -520,6 +521,7 @@ mod tests {
     #[test]
     fn grow_then_shrink_interleaved_elim() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         const N: u64 = 4_000;
         // Interleave inserts and deletes so rebalancing happens while the
         // tree contains a mix of sparse and dense regions.
@@ -542,6 +544,7 @@ mod tests {
     #[test]
     fn deep_tree_structure_is_valid() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         // Enough keys for height >= 3 with b = 11.
         const N: u64 = 30_000;
         for k in 0..N {
@@ -559,6 +562,7 @@ mod tests {
         // tree must collapse back to a single (root) leaf without violating
         // invariants, exercising the root-replacement merge case.
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         let keys: Vec<u64> = (0..1_000u64).map(|k| k * 7 % 1_000).collect();
         for &k in &keys {
             t.insert(k, k);

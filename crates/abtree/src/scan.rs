@@ -40,17 +40,18 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// Collects every `(key, value)` pair with `lo <= key <= hi`, sorted by
     /// key, as a linearizable snapshot (see the module docs for the
     /// protocol).  `out` is cleared first; `lo > hi` yields an empty result.
-    pub fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+    /// The caller's session guard keeps the traversed leaves alive; see
+    /// [`crate::TreeHandle::range`] for the public entry point.
+    pub(crate) fn range_in(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>, guard: &Guard) {
         out.clear();
         if lo > hi || lo == EMPTY_KEY {
             return;
         }
         let hi = hi.min(EMPTY_KEY - 1);
-        let guard = self.collector.pin();
         let mut backoff = Backoff::new();
         loop {
             out.clear();
-            if self.try_range(lo, hi, out, &guard) {
+            if self.try_range(lo, hi, out, guard) {
                 out.sort_unstable_by_key(|e| e.0);
                 return;
             }
@@ -160,6 +161,7 @@ mod tests {
     #[test]
     fn empty_tree_scans_empty() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         let mut out = vec![(1, 1)];
         t.range(0, u64::MAX - 1, &mut out);
         assert!(out.is_empty(), "out must be cleared");
@@ -169,6 +171,7 @@ mod tests {
     #[test]
     fn inverted_and_degenerate_bounds() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         t.insert(5, 50);
         let mut out = Vec::new();
         t.range(7, 3, &mut out);
@@ -183,6 +186,7 @@ mod tests {
     #[test]
     fn range_spans_many_leaves_sorted() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         // Insert in a scattered order so leaves hold unsorted slots.
         for k in (0..2_000u64).rev() {
             t.insert(k.wrapping_mul(7) % 2_000, k);
@@ -198,18 +202,21 @@ mod tests {
     #[test]
     fn native_and_trait_scan_agree() {
         let t: ElimABTree = ElimABTree::new();
+        let mut h = t.handle();
         for k in 0..500u64 {
             if k % 3 != 0 {
-                t.insert(k, k + 1);
+                h.insert(k, k + 1);
             }
         }
         let mut native = Vec::new();
-        t.range(10, 400, &mut native);
-        // The trait object path must hit the same (overridden) native scan.
+        h.range(10, 400, &mut native);
+        // The trait-object session must hit the same (overridden) native
+        // scan.
         let dynamic: &dyn ConcurrentMap = &t;
+        let mut dyn_h = dynamic.handle();
         let mut via_trait = Vec::new();
-        dynamic.range(10, 400, &mut via_trait);
+        dyn_h.range(10, 400, &mut via_trait);
         assert_eq!(native, via_trait);
-        assert_eq!(dynamic.scan_len(0, 500), t.scan_len(0, 500));
+        assert_eq!(dyn_h.scan_len(0, 500), h.scan_len(0, 500));
     }
 }

@@ -14,7 +14,7 @@ use absync::{McsLock, RawNodeLock};
 
 use crate::node::{is_dirty, tag_dirty, untag, Node};
 use crate::persist::{Persist, VolatilePersist};
-use crate::{ConcurrentMap, EMPTY_KEY, MAX_KEYS};
+use crate::{EMPTY_KEY, MAX_KEYS};
 
 /// Result of a root-to-leaf search: the leaf (or target node) reached, its
 /// parent and grandparent, and the child indices linking them (paper Fig. 1,
@@ -221,19 +221,15 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     }
 
     /// The paper's `find(key)`: returns the associated value, or `None`.
-    /// Never restarts and never acquires locks.
-    pub fn get(&self, key: u64) -> Option<u64> {
+    /// Never restarts and never acquires locks.  The caller's session guard
+    /// keeps the traversed nodes alive; see [`crate::TreeHandle::get`] for
+    /// the public entry point.
+    pub(crate) fn get_in(&self, key: u64, guard: &Guard) -> Option<u64> {
         debug_assert_ne!(key, EMPTY_KEY, "EMPTY_KEY is reserved");
-        let guard = self.collector.pin();
-        let path = self.search(key, ptr::null_mut(), &guard);
+        let path = self.search(key, ptr::null_mut(), guard);
         // SAFETY: `path.n` was read during the pinned search.
-        let leaf = unsafe { self.deref(path.n, &guard) };
+        let leaf = unsafe { self.deref(path.n, guard) };
         self.search_leaf(leaf, key).0
-    }
-
-    /// Returns `true` if `key` is present.
-    pub fn contains(&self, key: u64) -> bool {
-        self.get(key).is_some()
     }
 }
 
@@ -257,35 +253,6 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> Drop for AbTree<ELIM, L, P> {
                     stack.push(node.child(i));
                 }
             }
-        }
-    }
-}
-
-impl<const ELIM: bool, L: RawNodeLock, P: Persist> ConcurrentMap for AbTree<ELIM, L, P> {
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
-        AbTree::insert(self, key, value)
-    }
-
-    fn delete(&self, key: u64) -> Option<u64> {
-        AbTree::delete(self, key)
-    }
-
-    fn get(&self, key: u64) -> Option<u64> {
-        AbTree::get(self, key)
-    }
-
-    // `scan_len` keeps its trait default, which routes through this
-    // override.
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
-        AbTree::range(self, lo, hi, out)
-    }
-
-    fn name(&self) -> &'static str {
-        match (ELIM, P::DURABLE) {
-            (false, false) => "occ-abtree",
-            (true, false) => "elim-abtree",
-            (false, true) => "p-occ-abtree",
-            (true, true) => "p-elim-abtree",
         }
     }
 }
@@ -419,12 +386,12 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::{ElimABTree, OccABTree};
+    use crate::{ConcurrentMap, ElimABTree, OccABTree};
 
     #[test]
     fn empty_tree_finds_nothing() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         assert_eq!(t.get(1), None);
         assert!(!t.contains(42));
     }

@@ -7,20 +7,25 @@
 //! **order-preserving** encoding, and any [`ValueCodec`] value type onto the
 //! 8-byte value slot.
 //!
+//! Like the untyped engine, the typed wrapper is session-based: open a
+//! [`TypedHandle`] per thread with [`TypedTree::handle`] and run all
+//! operations through it.
+//!
 //! ```
 //! use abtree::{ElimABTree, TypedTree};
 //!
 //! let tree: TypedTree<i64, u32, ElimABTree> = TypedTree::default();
-//! tree.insert(-5, 100);
-//! tree.insert(3, 200);
-//! assert_eq!(tree.get(-5), Some(100));
-//! assert_eq!(tree.get(3), Some(200));
-//! assert_eq!(tree.remove(-5), Some(100));
+//! let mut session = tree.handle();
+//! session.insert(-5, 100);
+//! session.insert(3, 200);
+//! assert_eq!(session.get(-5), Some(100));
+//! assert_eq!(session.get(3), Some(200));
+//! assert_eq!(session.remove(-5), Some(100));
 //! ```
 
 use std::marker::PhantomData;
 
-use crate::{ConcurrentMap, ElimABTree, EMPTY_KEY};
+use crate::{ConcurrentMap, ElimABTree, MapHandle, SessionMap, EMPTY_KEY};
 
 /// A fixed-size key type that can be encoded into the engine's `u64` key
 /// space such that the encoding preserves ordering.
@@ -164,27 +169,76 @@ impl<K: KeyCodec, V: ValueCodec, M: ConcurrentMap> TypedTree<K, V, M> {
         &self.inner
     }
 
+    /// Opens a per-thread typed session (one per worker thread), backed by a
+    /// boxed session handle of the underlying untyped map.  When `M`'s
+    /// concrete session type is known, prefer
+    /// [`session`](TypedTree::session), which dispatches statically.
+    pub fn handle(&self) -> TypedHandle<'_, K, V> {
+        TypedHandle {
+            inner: self.inner.handle(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: KeyCodec, V: ValueCodec, M: SessionMap> TypedTree<K, V, M> {
+    /// Opens a per-thread typed session over `M`'s **concrete** session
+    /// type, so every operation is monomorphized (no per-op virtual call).
+    pub fn session(&self) -> TypedHandle<'_, K, V, M::Session<'_>> {
+        TypedHandle {
+            inner: self.inner.session(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A per-thread session on a [`TypedTree`]: the typed view of a
+/// [`MapHandle`].
+///
+/// `H` is the underlying untyped session: a boxed [`MapHandle`] when opened
+/// via [`TypedTree::handle`], `M`'s concrete session type when opened via
+/// [`TypedTree::session`].
+pub struct TypedHandle<'m, K: KeyCodec, V: ValueCodec, H: MapHandle = Box<dyn MapHandle + 'm>> {
+    inner: H,
+    _marker: PhantomData<(&'m (), K, V)>,
+}
+
+impl<K: KeyCodec, V: ValueCodec, H: MapHandle> TypedHandle<'_, K, V, H> {
     /// Inserts `key -> value` if absent; returns the existing value
-    /// otherwise (matching [`ConcurrentMap::insert`] semantics).
-    pub fn insert(&self, key: K, value: V) -> Option<V> {
+    /// otherwise (matching [`MapHandle::insert`] semantics).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         self.inner
             .insert(key.encode_key(), value.encode_value())
             .map(V::decode_value)
     }
 
     /// Removes `key`, returning its value if present.
-    pub fn remove(&self, key: K) -> Option<V> {
+    pub fn remove(&mut self, key: K) -> Option<V> {
         self.inner.delete(key.encode_key()).map(V::decode_value)
     }
 
     /// Returns the value associated with `key`.
-    pub fn get(&self, key: K) -> Option<V> {
+    pub fn get(&mut self, key: K) -> Option<V> {
         self.inner.get(key.encode_key()).map(V::decode_value)
     }
 
     /// Returns `true` if `key` is present.
-    pub fn contains(&self, key: K) -> bool {
+    pub fn contains(&mut self, key: K) -> bool {
         self.inner.contains(key.encode_key())
+    }
+
+    /// Collects every `(key, value)` pair with `lo <= key <= hi` (by key
+    /// order of the encoding, which the [`KeyCodec`] contract makes the key
+    /// order of `K`), decoded into `out` (cleared first).
+    pub fn range(&mut self, lo: K, hi: K, out: &mut Vec<(K, V)>) {
+        let mut raw = self.inner.take_scan_buf();
+        self.inner.range(lo.encode_key(), hi.encode_key(), &mut raw);
+        out.clear();
+        out.extend(
+            raw.iter()
+                .map(|&(k, v)| (K::decode_key(k), V::decode_value(v))),
+        );
+        self.inner.put_scan_buf(raw);
     }
 }
 
@@ -217,6 +271,7 @@ mod tests {
     #[test]
     fn typed_tree_over_occ() {
         let tree: TypedTree<i32, f64, OccABTree> = TypedTree::default();
+        let mut tree = tree.handle();
         assert_eq!(tree.insert(-3, 1.5), None);
         assert_eq!(tree.insert(4, 2.25), None);
         assert_eq!(tree.get(-3), Some(1.5));
@@ -227,8 +282,24 @@ mod tests {
     }
 
     #[test]
+    fn typed_range_decodes_in_order() {
+        let tree: TypedTree<i64, u32, ElimABTree> = TypedTree::default();
+        let mut h = tree.handle();
+        for i in -50..50i64 {
+            assert_eq!(h.insert(i, (i + 100) as u32), None);
+        }
+        let mut out = Vec::new();
+        h.range(-5, 5, &mut out);
+        assert_eq!(out.len(), 11);
+        assert_eq!(out.first().copied(), Some((-5, 95)));
+        assert_eq!(out.last().copied(), Some((5, 105)));
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
     fn unit_values_work_as_a_set() {
         let set: TypedTree<u32, (), ElimABTree> = TypedTree::default();
+        let mut set = set.handle();
         assert_eq!(set.insert(9, ()), None);
         assert!(set.contains(9));
         assert_eq!(set.insert(9, ()), Some(()));

@@ -13,6 +13,7 @@ use std::sync::atomic::{fence, Ordering};
 use abebr::Guard;
 use absync::{Backoff, RawNodeLock};
 
+use crate::handle::{HandleRng, OpScratch};
 use crate::node::{Node, NodeKind};
 use crate::persist::Persist;
 use crate::tree::AbTree;
@@ -39,11 +40,20 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// Inserts `key -> value` if `key` is absent.  Returns the pre-existing
     /// value (leaving the tree unchanged) if `key` was present, `None` if the
     /// pair was inserted (paper Fig. 4).
-    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+    ///
+    /// The caller (a [`crate::TreeHandle`]) supplies the pinned guard and
+    /// its per-thread scratch; this path never consults the reclamation
+    /// registry itself.
+    pub(crate) fn insert_in(
+        &self,
+        key: u64,
+        value: u64,
+        guard: &Guard,
+        scratch: &mut OpScratch,
+    ) -> Option<u64> {
         debug_assert_ne!(key, EMPTY_KEY, "EMPTY_KEY is reserved");
-        let guard = self.collector.pin();
         loop {
-            match self.insert_attempt(key, value, &guard) {
+            match self.insert_attempt(key, value, guard, scratch) {
                 Attempt::Done(r) => return r,
                 Attempt::Retry => continue,
             }
@@ -51,11 +61,16 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     }
 
     /// Removes `key`, returning its value if it was present (paper Fig. 5).
-    pub fn delete(&self, key: u64) -> Option<u64> {
+    /// Guard/scratch discipline as in [`AbTree::insert_in`].
+    pub(crate) fn delete_in(
+        &self,
+        key: u64,
+        guard: &Guard,
+        scratch: &mut OpScratch,
+    ) -> Option<u64> {
         debug_assert_ne!(key, EMPTY_KEY, "EMPTY_KEY is reserved");
-        let guard = self.collector.pin();
         loop {
-            match self.delete_attempt(key, &guard) {
+            match self.delete_attempt(key, guard, scratch) {
                 Attempt::Done(r) => return r,
                 Attempt::Retry => continue,
             }
@@ -66,7 +81,16 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// snapshot of the leaf's elimination record; if the record proves a
     /// same-key operation linearized after this operation began, eliminate;
     /// otherwise try to take the lock.
-    fn lock_or_elim(&self, leaf: &Node<L>, key: u64, token: &mut L::Token) -> ElimOutcome {
+    ///
+    /// `rng` is the session's scratch RNG: contending threads jitter their
+    /// backoff so they don't retry the `try_lock` in lockstep.
+    fn lock_or_elim(
+        &self,
+        leaf: &Node<L>,
+        key: u64,
+        token: &mut L::Token,
+        rng: &mut HandleRng,
+    ) -> ElimOutcome {
         // Line 208: the version read here is what condition C1 compares
         // against `rec.ver`.
         let start_ver = leaf.ver.load(Ordering::Acquire);
@@ -92,11 +116,21 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
                 return ElimOutcome::Acquired;
             }
             backoff.wait();
+            // Desynchronize identical backoff schedules across threads.
+            for _ in 0..(rng.next_u64() & 0x1F) {
+                core::hint::spin_loop();
+            }
         }
     }
 
     /// One attempt of `insert` (the body of the paper's RETRY loop).
-    fn insert_attempt(&self, key: u64, value: u64, guard: &Guard) -> Attempt<Option<u64>> {
+    fn insert_attempt(
+        &self,
+        key: u64,
+        value: u64,
+        guard: &Guard,
+        scratch: &mut OpScratch,
+    ) -> Attempt<Option<u64>> {
         let path = self.search(key, ptr::null_mut(), guard);
         // SAFETY: read during the pinned search.
         let leaf = unsafe { self.deref(path.n, guard) };
@@ -118,7 +152,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
         // Lock acquisition (possibly eliminating instead).
         let mut leaf_token = L::Token::default();
         if ELIM {
-            match self.lock_or_elim(leaf, key, &mut leaf_token) {
+            match self.lock_or_elim(leaf, key, &mut leaf_token, &mut scratch.rng) {
                 ElimOutcome::Eliminated(v) => {
                     self.elim_count.fetch_add(1, Ordering::Relaxed);
                     return Attempt::Done(Some(v));
@@ -185,7 +219,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
 
         // Gather the leaf's contents plus the new pair, in key order, and
         // split them evenly between two fresh leaves joined by a tagged node.
-        let mut entries = leaf.locked_entries();
+        // The entry buffer is session scratch, so splits don't allocate.
+        let entries = &mut scratch.split_entries;
+        entries.clear();
+        leaf.locked_entries_into(entries);
         entries.push((key, value));
         entries.sort_unstable_by_key(|e| e.0);
         debug_assert_eq!(entries.len(), MAX_KEYS + 1);
@@ -224,7 +261,12 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     }
 
     /// One attempt of `delete` (the body of the paper's RETRY loop).
-    fn delete_attempt(&self, key: u64, guard: &Guard) -> Attempt<Option<u64>> {
+    fn delete_attempt(
+        &self,
+        key: u64,
+        guard: &Guard,
+        scratch: &mut OpScratch,
+    ) -> Attempt<Option<u64>> {
         let path = self.search(key, ptr::null_mut(), guard);
         // SAFETY: read during the pinned search.
         let leaf = unsafe { self.deref(path.n, guard) };
@@ -244,7 +286,7 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
 
         let mut leaf_token = L::Token::default();
         if ELIM {
-            match self.lock_or_elim(leaf, key, &mut leaf_token) {
+            match self.lock_or_elim(leaf, key, &mut leaf_token, &mut scratch.rng) {
                 // An eliminated delete is linearized at a point where the key
                 // is absent, so it returns "not present" (§4).
                 ElimOutcome::Eliminated(_) => {
@@ -304,6 +346,7 @@ mod tests {
     #[test]
     fn insert_get_delete_round_trip_occ() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         assert_eq!(t.insert(5, 50), None);
         assert_eq!(t.get(5), Some(50));
         assert_eq!(t.insert(5, 51), Some(50), "duplicate insert returns old");
@@ -316,6 +359,7 @@ mod tests {
     #[test]
     fn insert_get_delete_round_trip_elim() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         assert_eq!(t.insert(5, 50), None);
         assert_eq!(t.get(5), Some(50));
         assert_eq!(t.insert(5, 51), Some(50));
@@ -326,6 +370,7 @@ mod tests {
     #[test]
     fn fill_one_leaf_then_split() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         // MAX_KEYS inserts fit in the root leaf; one more forces a split.
         for k in 0..=(MAX_KEYS as u64) {
             assert_eq!(t.insert(k, k * 10), None);
@@ -339,6 +384,7 @@ mod tests {
     #[test]
     fn many_sequential_inserts_and_deletes() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         const N: u64 = 3_000;
         for k in 0..N {
             assert_eq!(t.insert(k, k), None, "insert {k}");
@@ -365,6 +411,7 @@ mod tests {
     #[test]
     fn many_sequential_inserts_and_deletes_elim() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         const N: u64 = 3_000;
         for k in 0..N {
             assert_eq!(t.insert(k, k + 1), None);
@@ -386,6 +433,7 @@ mod tests {
         keys.shuffle(&mut rng);
 
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         for &k in &keys {
             assert_eq!(t.insert(k, !k), None);
         }
@@ -402,6 +450,7 @@ mod tests {
     #[test]
     fn values_are_arbitrary_u64() {
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         assert_eq!(t.insert(1, u64::MAX), None);
         assert_eq!(t.insert(2, 0), None);
         assert_eq!(t.get(1), Some(u64::MAX));
@@ -411,8 +460,9 @@ mod tests {
     #[test]
     fn trait_object_usage() {
         let t: Box<dyn ConcurrentMap> = Box::new(ElimABTree::<absync::McsLock>::new());
-        assert_eq!(t.insert(9, 90), None);
-        assert!(t.contains(9));
-        assert_eq!(t.delete(9), Some(90));
+        let mut h = t.handle();
+        assert_eq!(h.insert(9, 90), None);
+        assert!(h.contains(9));
+        assert_eq!(h.delete(9), Some(90));
     }
 }

@@ -280,6 +280,7 @@ mod tests {
     #[test]
     fn collect_returns_sorted_pairs() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         for k in [5u64, 1, 9, 3, 7] {
             t.insert(k, k * 10);
         }
@@ -297,6 +298,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let t: OccABTree = OccABTree::new();
+        let mut t = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..500u64);
@@ -324,6 +326,7 @@ mod tests {
     #[test]
     fn stats_count_matches_len() {
         let t: ElimABTree = ElimABTree::new();
+        let mut t = t.handle();
         for k in 0..500u64 {
             t.insert(k, 0);
         }

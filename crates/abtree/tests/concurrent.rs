@@ -32,6 +32,7 @@ fn run_mixed_workload<const ELIM: bool, L: RawNodeLock>(
     for t in 0..threads {
         let tree = Arc::clone(&tree);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut rng = StdRng::seed_from_u64(0xC0FFEE + t as u64);
             let mut inserted_sum: i128 = 0;
             let mut deleted_sum: i128 = 0;
@@ -105,15 +106,17 @@ fn elim_single_hot_key() {
     // Every thread repeatedly inserts/deletes the *same* key: the most
     // extreme elimination scenario (paper Fig. 11's setting).
     let tree: Arc<ElimABTree> = Arc::new(ElimABTree::new());
+    let mut main_session = tree.handle();
     // Surround the hot key so the leaf never becomes the root-only case.
     for k in 0..8u64 {
-        tree.insert(k * 100, 0);
+        main_session.insert(k * 100, 0);
     }
     let threads = thread_count();
     let mut handles = Vec::new();
     for t in 0..threads {
         let tree = Arc::clone(&tree);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut rng = StdRng::seed_from_u64(t as u64);
             let mut net = 0i64;
             for _ in 0..50_000 {
@@ -133,11 +136,11 @@ fn elim_single_hot_key() {
         net += h.join().unwrap();
     }
     tree.check_invariants().unwrap();
-    let present = tree.get(42).is_some();
+    let present = main_session.get(42).is_some();
     assert_eq!(net, if present { 1 } else { 0 });
     // The value, when present, must be the one every inserter writes.
     if present {
-        assert_eq!(tree.get(42), Some(4242));
+        assert_eq!(main_session.get(42), Some(4242));
     }
 }
 
@@ -153,6 +156,7 @@ fn concurrent_readers_never_see_phantoms() {
         let tree = Arc::clone(&tree);
         let stop = Arc::clone(&stop);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut rng = StdRng::seed_from_u64(77 + t as u64);
             while !stop.load(Ordering::Relaxed) {
                 let k = rng.gen_range(0..2_000u64);
@@ -169,6 +173,7 @@ fn concurrent_readers_never_see_phantoms() {
         let tree = Arc::clone(&tree);
         let stop = Arc::clone(&stop);
         readers.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut rng = StdRng::seed_from_u64(999 + t as u64);
             let mut observed = 0u64;
             while !stop.load(Ordering::Relaxed) {
@@ -217,6 +222,7 @@ fn scans_racing_inserters_observe_only_linearizable_snapshots() {
     for w in 0..WRITERS {
         let tree = Arc::clone(&tree);
         writers.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             for i in 0..BLOCK {
                 let k = w * BLOCK + i;
                 assert_eq!(tree.insert(k, k), None);
@@ -229,6 +235,7 @@ fn scans_racing_inserters_observe_only_linearizable_snapshots() {
         let tree = Arc::clone(&tree);
         let stop = Arc::clone(&stop);
         scanners.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut rng = StdRng::seed_from_u64(0x5CA + s as u64);
             let mut out = Vec::new();
             let mut scans = 0u64;
@@ -293,7 +300,7 @@ fn scans_racing_inserters_observe_only_linearizable_snapshots() {
     }
     // After the race, a scan sees exactly everything.
     let mut out = Vec::new();
-    tree.range(0, WRITERS * BLOCK - 1, &mut out);
+    tree.handle().range(0, WRITERS * BLOCK - 1, &mut out);
     assert_eq!(out.len() as u64, WRITERS * BLOCK);
     tree.check_invariants().unwrap();
 }
@@ -309,6 +316,7 @@ fn grow_concurrently_then_verify_contents() {
     for t in 0..threads {
         let tree = Arc::clone(&tree);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let base = t * per_thread;
             for k in base..base + per_thread {
                 assert_eq!(tree.insert(k, !k), None);
@@ -321,9 +329,10 @@ fn grow_concurrently_then_verify_contents() {
     tree.check_invariants().unwrap();
     assert_eq!(tree.len() as u64, threads * per_thread);
     let mut rng = StdRng::seed_from_u64(3);
+    let mut session = tree.handle();
     for _ in 0..10_000 {
         let k = rng.gen_range(0..threads * per_thread);
-        assert_eq!(tree.get(k), Some(!k));
+        assert_eq!(session.get(k), Some(!k));
     }
 }
 
@@ -331,14 +340,17 @@ fn grow_concurrently_then_verify_contents() {
 fn concurrent_deletes_shrink_to_empty() {
     let tree: Arc<ElimABTree> = Arc::new(ElimABTree::new());
     let n = 50_000u64;
+    let mut prefill = tree.handle();
     for k in 0..n {
-        tree.insert(k, k);
+        prefill.insert(k, k);
     }
+    drop(prefill);
     let threads = thread_count() as u64;
     let mut handles = Vec::new();
     for t in 0..threads {
         let tree = Arc::clone(&tree);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut deleted = 0u64;
             let mut k = t;
             while k < n {
@@ -371,6 +383,7 @@ fn contended_inserts_of_same_keys_agree() {
     for t in 0..threads {
         let tree = Arc::clone(&tree);
         handles.push(std::thread::spawn(move || {
+            let mut tree = tree.handle();
             let mut wins = Vec::new();
             for k in 0..keys {
                 if tree.insert(k, t).is_none() {
@@ -389,8 +402,9 @@ fn contended_inserts_of_same_keys_agree() {
         }
     }
     assert!(all_wins.iter().all(|&c| c == 1), "every key has one winner");
+    let mut session = tree.handle();
     for k in 0..keys {
-        assert_eq!(tree.get(k), Some(winner_of[k as usize]));
+        assert_eq!(session.get(k), Some(winner_of[k as usize]));
     }
     tree.check_invariants().unwrap();
 }

@@ -37,12 +37,14 @@ fn random_ops(rng: &mut StdRng, key_space: u64, max_len: usize) -> Vec<Op> {
         .collect()
 }
 
-/// Applies `ops` to both the tree under test and a `BTreeMap` oracle,
-/// asserting identical observable behaviour, then checks invariants.
+/// Applies `ops` (through a per-thread session handle, as real callers do)
+/// to both the tree under test and a `BTreeMap` oracle, asserting identical
+/// observable behaviour, then checks invariants.
 fn oracle_test<M>(tree: &M, ops: &[Op], collect: impl Fn(&M) -> Vec<(u64, u64)>, seed: u64)
 where
     M: ConcurrentMap,
 {
+    let mut session = tree.handle();
     let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
         match *op {
@@ -54,18 +56,19 @@ where
                         None
                     }
                 };
-                assert_eq!(tree.insert(k, v), expected, "insert({k}, {v}) [seed {seed}]");
+                assert_eq!(session.insert(k, v), expected, "insert({k}, {v}) [seed {seed}]");
             }
             Op::Delete(k) => {
                 let expected = oracle.remove(&k);
-                assert_eq!(tree.delete(k), expected, "delete({k}) [seed {seed}]");
+                assert_eq!(session.delete(k), expected, "delete({k}) [seed {seed}]");
             }
             Op::Get(k) => {
                 let expected = oracle.get(&k).copied();
-                assert_eq!(tree.get(k), expected, "get({k}) [seed {seed}]");
+                assert_eq!(session.get(k), expected, "get({k}) [seed {seed}]");
             }
         }
     }
+    drop(session);
     let collected = collect(tree);
     let expected: Vec<(u64, u64)> = oracle.into_iter().collect();
     assert_eq!(collected, expected, "final contents differ from oracle [seed {seed}]");
@@ -130,6 +133,7 @@ fn insert_all_delete_all_returns_to_empty() {
         let keys: BTreeSet<u64> = (0..len).map(|_| rng.gen_range(0..100_000u64)).collect();
 
         let tree: ElimABTree = ElimABTree::new();
+        let mut tree = tree.handle();
         for &k in &keys {
             assert_eq!(tree.insert(k, k ^ 0xdead), None, "[seed {seed}]");
         }
@@ -158,6 +162,7 @@ fn native_range_matches_btreemap_oracle() {
         // splits and merges) and a sparse large one.
         let key_space: u64 = if seed % 2 == 0 { 64 } else { 20_000 };
         let tree: ElimABTree = ElimABTree::new();
+        let mut tree = tree.handle();
         let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
         let mut out = Vec::new();
         for step in 0..800 {
@@ -213,14 +218,11 @@ fn native_range_matches_btreemap_oracle() {
 /// must still agree with the oracle.
 #[test]
 fn range_windows_across_leaf_boundaries() {
-    let tree: OccABTree = OccABTree::new();
-    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
-    for k in 0..1_000u64 {
-        tree.insert(k, k * 3);
-        oracle.insert(k, k * 3);
-    }
-    let mut out = Vec::new();
-    let check = |tree: &OccABTree, oracle: &BTreeMap<u64, u64>, out: &mut Vec<(u64, u64)>| {
+    fn check(
+        tree: &mut abtree::TreeHandle<'_, false>,
+        oracle: &BTreeMap<u64, u64>,
+        out: &mut Vec<(u64, u64)>,
+    ) {
         for lo in (0..1_000u64).step_by(37) {
             for width in [0u64, 1, 10, 150] {
                 let hi = lo + width;
@@ -230,8 +232,17 @@ fn range_windows_across_leaf_boundaries() {
                 assert_eq!(*out, expected, "range({lo}, {hi})");
             }
         }
-    };
-    check(&tree, &oracle, &mut out);
+    }
+
+    let tree: OccABTree = OccABTree::new();
+    let mut tree = tree.handle();
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    for k in 0..1_000u64 {
+        tree.insert(k, k * 3);
+        oracle.insert(k, k * 3);
+    }
+    let mut out = Vec::new();
+    check(&mut tree, &oracle, &mut out);
     // Delete a band in the middle (forces merges/redistributions) and a
     // comb pattern elsewhere, then sweep again.
     for k in 400..600u64 {
@@ -243,7 +254,7 @@ fn range_windows_across_leaf_boundaries() {
         oracle.remove(&k);
     }
     tree.check_invariants().unwrap();
-    check(&tree, &oracle, &mut out);
+    check(&mut tree, &oracle, &mut out);
 }
 
 /// The key-sum validation used by the benchmark harness agrees with the
@@ -254,6 +265,7 @@ fn key_sum_matches_contents() {
         let mut rng = StdRng::seed_from_u64(0x5F3_0004 ^ seed);
         let ops = random_ops(&mut rng, 4_000, 800);
         let tree: OccABTree = OccABTree::new();
+        let mut tree = tree.handle();
         for op in &ops {
             match *op {
                 Op::Insert(k, v) => {

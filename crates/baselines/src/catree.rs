@@ -19,11 +19,12 @@
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
-use abebr::Collector;
-use abtree::ConcurrentMap;
+use abebr::{Collector, Guard};
+use abtree::{ConcurrentMap, MapHandle};
 use parking_lot::Mutex;
 
 use crate::avl::Avl;
+use crate::{OpCx, SessionHandle, SessionOps};
 
 /// Contention statistic added on a contended lock acquisition.
 const STAT_CONTENDED: i32 = 250;
@@ -94,9 +95,9 @@ impl CaTree {
     }
 
     /// Applies `f` to the base node responsible for `key` while holding its
-    /// lock, handling contention adaptation and splitting.
-    fn with_base<R>(&self, key: u64, f: impl FnOnce(&mut Avl) -> R) -> R {
-        let guard = self.collector.pin();
+    /// lock, handling contention adaptation and splitting.  `guard` is the
+    /// calling session's pin, which keeps unlinked base nodes alive.
+    fn with_base<R>(&self, key: u64, guard: &Guard, f: impl FnOnce(&mut Avl) -> R) -> R {
         loop {
             // Descend the routing tree (no locks).
             let mut parent: *mut CaNode = ptr::null_mut();
@@ -233,19 +234,29 @@ impl CaTree {
     }
 }
 
-impl ConcurrentMap for CaTree {
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
-        self.with_base(key, |avl| avl.insert(key, value))
+impl SessionOps for CaTree {
+    fn collector(&self) -> Option<&Collector> {
+        Some(&self.collector)
     }
 
-    fn delete(&self, key: u64) -> Option<u64> {
-        self.with_base(key, |avl| avl.remove(key))
+    fn op_insert(&self, key: u64, value: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        self.with_base(key, cx.guard(), |avl| avl.insert(key, value))
     }
 
-    fn get(&self, key: u64) -> Option<u64> {
+    fn op_delete(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        self.with_base(key, cx.guard(), |avl| avl.remove(key))
+    }
+
+    fn op_get(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
         // The CATree locks base nodes even for searches (paper §6.1: "All of
         // the CATree's operations (even searches) require locking a leaf").
-        self.with_base(key, |avl| avl.get(key))
+        self.with_base(key, cx.guard(), |avl| avl.get(key))
+    }
+}
+
+impl ConcurrentMap for CaTree {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        Box::new(SessionHandle::new(self))
     }
 
     fn name(&self) -> &'static str {
@@ -288,6 +299,7 @@ mod tests {
     fn sequential_oracle_comparison() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = CaTree::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..3_000u64);
@@ -296,9 +308,9 @@ mod tests {
                 if expected.is_none() {
                     oracle.insert(k, k);
                 }
-                assert_eq!(t.insert(k, k), expected);
+                assert_eq!(h.insert(k, k), expected);
             } else {
-                assert_eq!(t.delete(k), oracle.remove(&k));
+                assert_eq!(h.delete(k), oracle.remove(&k));
             }
         }
         let keys: Vec<u64> = t.collect().iter().map(|&(k, _)| k).collect();
@@ -318,21 +330,23 @@ mod tests {
             return;
         }
         let t = Arc::new(CaTree::new());
+        let mut h = t.handle();
         for k in 0..20_000u64 {
-            t.insert(k, k);
+            h.insert(k, k);
         }
         assert_eq!(t.base_node_count(), 1, "no contention yet, single base");
         let mut handles = Vec::new();
         for tid in 0..8u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(tid);
                 for _ in 0..30_000 {
                     let k = rng.gen_range(0..20_000u64);
                     if rng.gen_bool(0.5) {
-                        t.insert(k, k);
+                        h.insert(k, k);
                     } else {
-                        t.delete(k);
+                        h.delete(k);
                     }
                 }
             }));
@@ -353,15 +367,16 @@ mod tests {
         for tid in 0..6u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(100 + tid);
                 let mut net: i128 = 0;
                 for _ in 0..20_000 {
                     let k = rng.gen_range(0..5_000u64);
                     if rng.gen_bool(0.5) {
-                        if t.insert(k, k).is_none() {
+                        if h.insert(k, k).is_none() {
                             net += k as i128;
                         }
-                    } else if t.delete(k).is_some() {
+                    } else if h.delete(k).is_some() {
                         net -= k as i128;
                     }
                 }

@@ -21,9 +21,11 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-use abebr::Collector;
-use abtree::ConcurrentMap;
+use abebr::{Collector, Guard};
+use abtree::{ConcurrentMap, MapHandle};
 use parking_lot::RwLock;
+
+use crate::{OpCx, SessionHandle, SessionOps};
 
 /// Maximum number of keys per leaf (matches the paper's b = 11).
 const LEAF_CAP: usize = 11;
@@ -83,12 +85,13 @@ impl CowABTree {
     }
 
     /// Attempts one copy-on-update of the leaf responsible for `key`.
+    /// `guard` is the calling session's pin.
     fn try_update(
         &self,
         key: u64,
+        guard: &Guard,
         mutate: impl Fn(&CowLeaf) -> Option<(Vec<(u64, u64)>, Option<u64>)>,
     ) -> UpdateOutcome {
-        let guard = self.collector.pin();
         let inner = self.inner.read();
         let (_, cell) = inner
             .range(..=key)
@@ -128,8 +131,8 @@ impl CowABTree {
     }
 
     /// Splits the leaf responsible for `key` under the routing write lock.
-    fn split_leaf(&self, key: u64) {
-        let guard = self.collector.pin();
+    /// `guard` is the calling session's pin.
+    fn split_leaf(&self, key: u64, guard: &Guard) {
         let mut inner = self.inner.write();
         let (&lower, cell) = inner
             .range(..=key)
@@ -176,9 +179,15 @@ impl CowABTree {
     }
 }
 
-impl ConcurrentMap for CowABTree {
-    fn get(&self, key: u64) -> Option<u64> {
-        let _guard = self.collector.pin();
+impl SessionOps for CowABTree {
+    fn collector(&self) -> Option<&Collector> {
+        Some(&self.collector)
+    }
+
+    fn op_get(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        // Bind the session's pin explicitly: it keeps the leaf snapshot
+        // alive, and this fails loudly if `collector()` stops arming it.
+        let _guard = cx.guard();
         let inner = self.inner.read();
         let (_, cell) = inner.range(..=key).next_back()?;
         // SAFETY: protected by the pinned epoch.
@@ -186,9 +195,9 @@ impl ConcurrentMap for CowABTree {
         leaf.find(key)
     }
 
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+    fn op_insert(&self, key: u64, value: u64, cx: &mut OpCx<'_>) -> Option<u64> {
         loop {
-            let outcome = self.try_update(key, |leaf| {
+            let outcome = self.try_update(key, cx.guard(), |leaf| {
                 match leaf.entries.binary_search_by_key(&key, |e| e.0) {
                     Ok(_) => None, // already present: no copy needed
                     Err(pos) => {
@@ -200,7 +209,7 @@ impl ConcurrentMap for CowABTree {
             });
             match outcome {
                 UpdateOutcome::Done(r) => return r,
-                UpdateOutcome::NeedsSplit => self.split_leaf(key),
+                UpdateOutcome::NeedsSplit => self.split_leaf(key, cx.guard()),
                 UpdateOutcome::Retry => continue,
             }
         }
@@ -212,12 +221,12 @@ impl ConcurrentMap for CowABTree {
     /// atomic per leaf (and leaves arrive in key order, so the output needs
     /// no sort); concurrent copy-on-update installs make the cross-leaf
     /// composition per-element linearizable rather than a global snapshot.
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+    fn op_range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>, cx: &mut OpCx<'_>) {
         out.clear();
         if lo > hi {
             return;
         }
-        let _guard = self.collector.pin();
+        let _guard = cx.guard();
         let inner = self.inner.read();
         let start = inner
             .range(..=lo)
@@ -235,9 +244,9 @@ impl ConcurrentMap for CowABTree {
         }
     }
 
-    fn delete(&self, key: u64) -> Option<u64> {
+    fn op_delete(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
         loop {
-            let outcome = self.try_update(key, |leaf| {
+            let outcome = self.try_update(key, cx.guard(), |leaf| {
                 match leaf.entries.binary_search_by_key(&key, |e| e.0) {
                     Err(_) => None, // absent: no copy needed, find() reports None
                     Ok(pos) => {
@@ -249,10 +258,16 @@ impl ConcurrentMap for CowABTree {
             });
             match outcome {
                 UpdateOutcome::Done(r) => return r,
-                UpdateOutcome::NeedsSplit => self.split_leaf(key),
+                UpdateOutcome::NeedsSplit => self.split_leaf(key, cx.guard()),
                 UpdateOutcome::Retry => continue,
             }
         }
+    }
+}
+
+impl ConcurrentMap for CowABTree {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        Box::new(SessionHandle::new(self))
     }
 
     fn name(&self) -> &'static str {
@@ -289,6 +304,7 @@ mod tests {
     fn sequential_oracle() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = CowABTree::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..2_000u64);
@@ -297,9 +313,9 @@ mod tests {
                 if expected.is_none() {
                     oracle.insert(k, k + 3);
                 }
-                assert_eq!(t.insert(k, k + 3), expected);
+                assert_eq!(h.insert(k, k + 3), expected);
             } else {
-                assert_eq!(t.delete(k), oracle.remove(&k));
+                assert_eq!(h.delete(k), oracle.remove(&k));
             }
         }
         let got = t.collect();
@@ -310,31 +326,33 @@ mod tests {
     #[test]
     fn deletion_of_absent_key_does_not_allocate_garbage() {
         let t = CowABTree::new();
-        t.insert(1, 1);
-        assert_eq!(t.delete(2), None);
-        assert_eq!(t.get(1), Some(1));
+        let mut h = t.handle();
+        h.insert(1, 1);
+        assert_eq!(h.delete(2), None);
+        assert_eq!(h.get(1), Some(1));
     }
 
     #[test]
     fn native_range_matches_oracle() {
         let mut rng = StdRng::seed_from_u64(9);
         let t = CowABTree::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..5_000 {
             let k = rng.gen_range(0..2_000u64);
             if rng.gen_bool(0.6) {
-                if t.insert(k, k + 7).is_none() {
+                if h.insert(k, k + 7).is_none() {
                     oracle.insert(k, k + 7);
                 }
             } else {
-                t.delete(k);
+                h.delete(k);
                 oracle.remove(&k);
             }
         }
         let mut out = Vec::new();
         // Window boundaries landing inside and between leaves.
         for (lo, hi) in [(0, 1_999), (250, 260), (1_990, 5_000), (7, 7), (9, 3)] {
-            t.range(lo, hi, &mut out);
+            h.range(lo, hi, &mut out);
             let expected: Vec<(u64, u64)> = if lo > hi {
                 Vec::new()
             } else {
@@ -342,7 +360,7 @@ mod tests {
             };
             assert_eq!(out, expected, "range({lo}, {hi})");
         }
-        assert_eq!(t.scan_len(0, 2_000), oracle.len());
+        assert_eq!(h.scan_len(0, 2_000), oracle.len());
     }
 
     #[test]
@@ -352,15 +370,16 @@ mod tests {
         for tid in 0..6u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(tid);
                 let mut net: i128 = 0;
                 for _ in 0..15_000 {
                     let k = rng.gen_range(0..1_000u64);
                     if rng.gen_bool(0.5) {
-                        if t.insert(k, k).is_none() {
+                        if h.insert(k, k).is_none() {
                             net += k as i128;
                         }
-                    } else if t.delete(k).is_some() {
+                    } else if h.delete(k).is_some() {
                         net -= k as i128;
                     }
                 }

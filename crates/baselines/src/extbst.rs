@@ -12,8 +12,10 @@ use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use abebr::Collector;
-use abtree::ConcurrentMap;
+use abtree::{ConcurrentMap, MapHandle};
 use absync::TatasLock;
+
+use crate::{OpCx, SessionHandle, SessionOps};
 
 /// Sentinel routing key larger than every user key (`u64::MAX` is reserved).
 const INF: u64 = u64::MAX;
@@ -165,9 +167,15 @@ impl LockExtBst {
     }
 }
 
-impl ConcurrentMap for LockExtBst {
-    fn get(&self, key: u64) -> Option<u64> {
-        let _guard = self.collector.pin();
+impl SessionOps for LockExtBst {
+    fn collector(&self) -> Option<&Collector> {
+        Some(&self.collector)
+    }
+
+    fn op_get(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        // Bind the session's pin explicitly: the lock-free search relies on
+        // it, and this fails loudly if `collector()` ever stops arming it.
+        let _guard = cx.guard();
         let res = self.search(key);
         // SAFETY: protected by the pinned epoch.
         let leaf = unsafe { &*res.leaf };
@@ -178,9 +186,9 @@ impl ConcurrentMap for LockExtBst {
         }
     }
 
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+    fn op_insert(&self, key: u64, value: u64, cx: &mut OpCx<'_>) -> Option<u64> {
         debug_assert_ne!(key, INF);
-        let guard = self.collector.pin();
+        let guard = cx.guard();
         loop {
             let res = self.search(key);
             // SAFETY: protected by the pinned epoch.
@@ -209,8 +217,8 @@ impl ConcurrentMap for LockExtBst {
         }
     }
 
-    fn delete(&self, key: u64) -> Option<u64> {
-        let guard = self.collector.pin();
+    fn op_delete(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        let guard = cx.guard();
         loop {
             let res = self.search(key);
             // SAFETY: protected by the pinned epoch.
@@ -256,6 +264,13 @@ impl ConcurrentMap for LockExtBst {
         }
     }
 
+}
+
+impl ConcurrentMap for LockExtBst {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        Box::new(SessionHandle::new(self))
+    }
+
     fn name(&self) -> &'static str {
         "ext-bst-lock"
     }
@@ -294,6 +309,7 @@ mod tests {
     fn sequential_oracle() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = LockExtBst::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..2_000u64);
@@ -302,9 +318,9 @@ mod tests {
                 if expected.is_none() {
                     oracle.insert(k, k + 1);
                 }
-                assert_eq!(t.insert(k, k + 1), expected);
+                assert_eq!(h.insert(k, k + 1), expected);
             } else {
-                assert_eq!(t.delete(k), oracle.remove(&k));
+                assert_eq!(h.delete(k), oracle.remove(&k));
             }
         }
         let got: Vec<(u64, u64)> = t.collect();
@@ -319,15 +335,16 @@ mod tests {
         for tid in 0..6u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(tid);
                 let mut net: i128 = 0;
                 for _ in 0..20_000 {
                     let k = rng.gen_range(0..1_000u64);
                     if rng.gen_bool(0.5) {
-                        if t.insert(k, k).is_none() {
+                        if h.insert(k, k).is_none() {
                             net += k as i128;
                         }
-                    } else if t.delete(k).is_some() {
+                    } else if h.delete(k).is_some() {
                         net -= k as i128;
                     }
                 }
@@ -344,16 +361,17 @@ mod tests {
     #[test]
     fn delete_down_to_empty_and_reuse() {
         let t = LockExtBst::new();
+        let mut h = t.handle();
         for k in 0..1_000u64 {
-            t.insert(k, k);
+            h.insert(k, k);
         }
         for k in 0..1_000u64 {
-            assert_eq!(t.delete(k), Some(k));
+            assert_eq!(h.delete(k), Some(k));
         }
         assert!(t.collect().is_empty());
         for k in 0..100u64 {
-            assert_eq!(t.insert(k, k * 2), None);
-            assert_eq!(t.get(k), Some(k * 2));
+            assert_eq!(h.insert(k, k * 2), None);
+            assert_eq!(h.get(k), Some(k * 2));
         }
     }
 }

@@ -18,7 +18,9 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
-use abtree::ConcurrentMap;
+use abtree::{ConcurrentMap, MapHandle};
+
+use crate::{OpCx, SessionHandle, SessionOps};
 use parking_lot::{Mutex, RwLock};
 
 /// Number of key slots per leaf (the original uses larger leaves than the
@@ -179,15 +181,15 @@ impl FpTree {
     }
 }
 
-impl ConcurrentMap for FpTree {
-    fn get(&self, key: u64) -> Option<u64> {
+impl SessionOps for FpTree {
+    fn op_get(&self, key: u64, _cx: &mut OpCx<'_>) -> Option<u64> {
         let inner = self.inner.read();
         let (_, leaf) = inner.range(..=key).next_back()?;
         let data = leaf.data.lock();
         data.find(key, fingerprint(key)).map(|i| data.vals[i])
     }
 
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+    fn op_insert(&self, key: u64, value: u64, _cx: &mut OpCx<'_>) -> Option<u64> {
         loop {
             {
                 let inner = self.inner.read();
@@ -218,7 +220,7 @@ impl ConcurrentMap for FpTree {
         }
     }
 
-    fn delete(&self, key: u64) -> Option<u64> {
+    fn op_delete(&self, key: u64, _cx: &mut OpCx<'_>) -> Option<u64> {
         let inner = self.inner.read();
         let (_, leaf) = inner.range(..=key).next_back()?;
         let mut data = leaf.data.lock();
@@ -232,6 +234,13 @@ impl ConcurrentMap for FpTree {
                 Some(value)
             }
         }
+    }
+
+}
+
+impl ConcurrentMap for FpTree {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        Box::new(SessionHandle::new(self))
     }
 
     fn name(&self) -> &'static str {
@@ -255,6 +264,7 @@ mod tests {
     fn sequential_oracle() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = FpTree::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..2_000u64);
@@ -263,9 +273,9 @@ mod tests {
                 if expected.is_none() {
                     oracle.insert(k, k + 9);
                 }
-                assert_eq!(t.insert(k, k + 9), expected);
+                assert_eq!(h.insert(k, k + 9), expected);
             } else {
-                assert_eq!(t.delete(k), oracle.remove(&k));
+                assert_eq!(h.delete(k), oracle.remove(&k));
             }
         }
         let got = t.collect();
@@ -277,12 +287,13 @@ mod tests {
     #[test]
     fn fingerprints_do_not_cause_false_negatives() {
         let t = FpTree::new();
+        let mut h = t.handle();
         // Keys engineered to stress fingerprint collisions within one leaf.
         for k in 0..1_000u64 {
-            t.insert(k * 256, k);
+            h.insert(k * 256, k);
         }
         for k in 0..1_000u64 {
-            assert_eq!(t.get(k * 256), Some(k));
+            assert_eq!(h.get(k * 256), Some(k));
         }
     }
 
@@ -293,15 +304,16 @@ mod tests {
         for tid in 0..6u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(tid);
                 let mut net: i128 = 0;
                 for _ in 0..15_000 {
                     let k = rng.gen_range(0..2_000u64);
                     if rng.gen_bool(0.5) {
-                        if t.insert(k, k).is_none() {
+                        if h.insert(k, k).is_none() {
                             net += k as i128;
                         }
-                    } else if t.delete(k).is_some() {
+                    } else if h.delete(k).is_some() {
                         net -= k as i128;
                     }
                 }

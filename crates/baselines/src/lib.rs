@@ -25,8 +25,13 @@
 //!   the LF-ABtree's behaviour in update-heavy workloads.
 //!
 //! All baselines implement [`abtree::ConcurrentMap`], so the benchmark
-//! harness drives them exactly like the paper's trees, including the key-sum
-//! validation.
+//! harness drives them exactly like the paper's trees: each worker thread
+//! opens one [`abtree::MapHandle`] session for its whole run.  The shared
+//! session plumbing lives in this module — a baseline implements the
+//! internal `SessionOps` trait (its operations receive an `OpCx` with the
+//! handle's pre-armed EBR guard and per-thread RNG) and gets its
+//! [`abtree::MapHandle`] via the internal `SessionHandle`, which owns the
+//! thread's epoch-reclamation registration, RNG and reusable scan buffer.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -44,33 +49,151 @@ pub use extbst::LockExtBst;
 pub use fptree::FpTree;
 pub use skiplist::LazySkipList;
 
+use abebr::{Collector, Guard, LocalHandle};
+use abtree::{HandleRng, MapHandle};
+
+/// Per-operation context a [`SessionHandle`] passes down to a structure's
+/// [`SessionOps`] methods: the pre-armed EBR guard (present iff the
+/// structure declared a [`Collector`]) and the session's RNG.
+pub(crate) struct OpCx<'a> {
+    guard: Option<&'a Guard>,
+    rng: &'a mut HandleRng,
+}
+
+impl OpCx<'_> {
+    /// The session's pin guard.  Only callable by structures whose
+    /// [`SessionOps::collector`] returned `Some` (the handle pins before
+    /// every operation in that case).
+    fn guard(&self) -> &Guard {
+        self.guard
+            .expect("structure declared a collector, so the session pinned")
+    }
+
+    /// The session's per-thread RNG.
+    fn rng(&mut self) -> &mut HandleRng {
+        self.rng
+    }
+}
+
+/// Internal session-facing operations of a baseline structure.
+///
+/// Methods mirror [`MapHandle`] but take the shared structure (`&self`) plus
+/// the per-operation context; [`SessionHandle`] adapts this to the public
+/// per-thread handle API.
+pub(crate) trait SessionOps: Send + Sync {
+    /// The structure's reclamation collector, if it retires memory through
+    /// EBR.  When `Some`, every session registers once and pins around each
+    /// operation; `cx.guard()` is then available.
+    fn collector(&self) -> Option<&Collector> {
+        None
+    }
+
+    /// Insert-if-absent (see [`MapHandle::insert`]).
+    fn op_insert(&self, key: u64, value: u64, cx: &mut OpCx<'_>) -> Option<u64>;
+
+    /// Remove (see [`MapHandle::delete`]).
+    fn op_delete(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64>;
+
+    /// Lookup (see [`MapHandle::get`]).
+    fn op_get(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64>;
+
+    /// Range collection (see [`MapHandle::range`]).  The default is the
+    /// shared [`abtree::fallback_range`] point-lookup probe over
+    /// [`SessionOps::op_get`]; structures with an ordered layout override
+    /// it.
+    fn op_range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>, cx: &mut OpCx<'_>) {
+        abtree::fallback_range(|key| self.op_get(key, cx), lo, hi, out)
+    }
+}
+
+/// The shared per-thread session state of every baseline: an owned EBR
+/// registration (when the structure uses one), a per-thread RNG, and the
+/// reusable scan buffer.  Constructed by each structure's
+/// `ConcurrentMap::handle`.
+pub(crate) struct SessionHandle<'m, M: SessionOps + ?Sized> {
+    map: &'m M,
+    /// One registration per session: per-op pins are local epoch bumps.
+    ebr: Option<LocalHandle>,
+    rng: HandleRng,
+    scan_buf: Vec<(u64, u64)>,
+}
+
+impl<'m, M: SessionOps + ?Sized> SessionHandle<'m, M> {
+    pub(crate) fn new(map: &'m M) -> Self {
+        Self {
+            map,
+            ebr: map.collector().map(Collector::register),
+            rng: HandleRng::new(),
+            scan_buf: Vec::new(),
+        }
+    }
+
+    /// Pins (when the structure uses EBR), builds the per-op context, and
+    /// runs `f` under it — the one place the pin-before-op discipline lives.
+    fn with_cx<R>(&mut self, f: impl FnOnce(&M, &mut OpCx<'_>) -> R) -> R {
+        let guard = self.ebr.as_ref().map(LocalHandle::pin);
+        let mut cx = OpCx {
+            guard: guard.as_ref(),
+            rng: &mut self.rng,
+        };
+        f(self.map, &mut cx)
+    }
+}
+
+impl<M: SessionOps + ?Sized> MapHandle for SessionHandle<'_, M> {
+    fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        self.with_cx(|map, cx| map.op_insert(key, value, cx))
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        self.with_cx(|map, cx| map.op_delete(key, cx))
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.with_cx(|map, cx| map.op_get(key, cx))
+    }
+
+    fn range(&mut self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        self.with_cx(|map, cx| map.op_range(lo, hi, out, cx))
+    }
+
+    fn take_scan_buf(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.scan_buf)
+    }
+
+    fn put_scan_buf(&mut self, buf: Vec<(u64, u64)>) {
+        self.scan_buf = buf;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use abtree::ConcurrentMap;
 
     fn smoke<M: ConcurrentMap>(map: M) {
-        assert_eq!(map.insert(5, 50), None);
-        // `ConcurrentMap::insert` is insert-if-absent (first-writer-wins,
+        let mut h = map.handle();
+        assert_eq!(h.insert(5, 50), None);
+        // `MapHandle::insert` is insert-if-absent (first-writer-wins,
         // the paper's `insertIfAbsent`): inserting a present key returns the
         // existing value and must leave the map completely unchanged.  The
         // rejected value 51 is never observable — not via get, not via a
         // repeated insert, not via delete.
-        assert_eq!(map.insert(5, 51), Some(50));
-        assert_eq!(map.get(5), Some(50));
-        assert_eq!(map.insert(5, 52), Some(50));
-        assert_eq!(map.delete(5), Some(50));
-        assert_eq!(map.get(5), None);
-        assert_eq!(map.delete(5), None);
+        assert_eq!(h.insert(5, 51), Some(50));
+        assert_eq!(h.get(5), Some(50));
+        assert_eq!(h.insert(5, 52), Some(50));
+        assert_eq!(h.delete(5), Some(50));
+        assert_eq!(h.get(5), None);
+        assert_eq!(h.delete(5), None);
         for k in 0..500u64 {
-            assert_eq!(map.insert(k, k * 2), None);
+            assert_eq!(h.insert(k, k * 2), None);
         }
         for k in 0..500u64 {
-            assert_eq!(map.get(k), Some(k * 2));
+            assert_eq!(h.get(k), Some(k * 2));
         }
         for k in 0..500u64 {
-            assert_eq!(map.delete(k), Some(k * 2));
+            assert_eq!(h.delete(k), Some(k * 2));
         }
-        assert_eq!(map.get(123), None);
+        assert_eq!(h.get(123), None);
     }
 
     #[test]

@@ -12,9 +12,10 @@ use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use abebr::Collector;
-use abtree::ConcurrentMap;
+use abtree::{ConcurrentMap, HandleRng, MapHandle};
 use parking_lot::Mutex;
-use rand::Rng;
+
+use crate::{OpCx, SessionHandle, SessionOps};
 
 /// Maximum tower height.
 const MAX_LEVEL: usize = 20;
@@ -83,10 +84,10 @@ impl LazySkipList {
         }
     }
 
-    fn random_level<R: Rng>(rng: &mut R) -> usize {
+    fn random_level(rng: &mut HandleRng) -> usize {
         // Geometric distribution with p = 1/2, capped at MAX_LEVEL.
         let mut level = 1;
-        while level < MAX_LEVEL && rng.gen_bool(0.5) {
+        while level < MAX_LEVEL && rng.coin() {
             level += 1;
         }
         level
@@ -148,9 +149,15 @@ impl LazySkipList {
     }
 }
 
-impl ConcurrentMap for LazySkipList {
-    fn get(&self, key: u64) -> Option<u64> {
-        let _guard = self.collector.pin();
+impl SessionOps for LazySkipList {
+    fn collector(&self) -> Option<&Collector> {
+        Some(&self.collector)
+    }
+
+    fn op_get(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        // Bind the session's pin explicitly: it keeps traversed towers
+        // alive, and this fails loudly if `collector()` stops arming it.
+        let _guard = cx.guard();
         let mut preds = [ptr::null_mut(); MAX_LEVEL];
         let mut succs = [ptr::null_mut(); MAX_LEVEL];
         match self.find(key, &mut preds, &mut succs) {
@@ -168,11 +175,12 @@ impl ConcurrentMap for LazySkipList {
         }
     }
 
-    fn insert(&self, key: u64, value: u64) -> Option<u64> {
+    fn op_insert(&self, key: u64, value: u64, cx: &mut OpCx<'_>) -> Option<u64> {
         debug_assert_ne!(key, u64::MAX);
-        let _guard = self.collector.pin();
-        let mut rng = rand::thread_rng();
-        let top_level = Self::random_level(&mut rng);
+        let _guard = cx.guard();
+        // Tower heights come from the session's own RNG: no thread-local
+        // lookup per insert.
+        let top_level = Self::random_level(cx.rng());
         let mut preds = [ptr::null_mut(); MAX_LEVEL];
         let mut succs = [ptr::null_mut(); MAX_LEVEL];
         loop {
@@ -238,12 +246,12 @@ impl ConcurrentMap for LazySkipList {
     /// are marked or not yet fully linked.  Each element is individually
     /// linearizable (the list-order walk of the lazy-list literature); the
     /// result is not an atomic snapshot of the whole window.
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+    fn op_range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>, cx: &mut OpCx<'_>) {
         out.clear();
         if lo > hi {
             return;
         }
-        let _guard = self.collector.pin();
+        let _guard = cx.guard();
         let mut preds = [ptr::null_mut(); MAX_LEVEL];
         let mut succs = [ptr::null_mut(); MAX_LEVEL];
         self.find(lo, &mut preds, &mut succs);
@@ -262,8 +270,8 @@ impl ConcurrentMap for LazySkipList {
         }
     }
 
-    fn delete(&self, key: u64) -> Option<u64> {
-        let guard = self.collector.pin();
+    fn op_delete(&self, key: u64, cx: &mut OpCx<'_>) -> Option<u64> {
+        let guard = cx.guard();
         let mut preds = [ptr::null_mut(); MAX_LEVEL];
         let mut succs = [ptr::null_mut(); MAX_LEVEL];
         let mut victim: *mut SkipNode = ptr::null_mut();
@@ -343,6 +351,13 @@ impl ConcurrentMap for LazySkipList {
         }
     }
 
+}
+
+impl ConcurrentMap for LazySkipList {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        Box::new(SessionHandle::new(self))
+    }
+
     fn name(&self) -> &'static str {
         "skiplist-lazy"
     }
@@ -380,6 +395,7 @@ mod tests {
     fn sequential_oracle() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = LazySkipList::new();
+        let mut h = t.handle();
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..20_000 {
             let k = rng.gen_range(0..2_000u64);
@@ -389,10 +405,10 @@ mod tests {
                     if expected.is_none() {
                         oracle.insert(k, k + 1);
                     }
-                    assert_eq!(t.insert(k, k + 1), expected);
+                    assert_eq!(h.insert(k, k + 1), expected);
                 }
-                1 => assert_eq!(t.delete(k), oracle.remove(&k)),
-                _ => assert_eq!(t.get(k), oracle.get(&k).copied()),
+                1 => assert_eq!(h.delete(k), oracle.remove(&k)),
+                _ => assert_eq!(h.get(k), oracle.get(&k).copied()),
             }
         }
     }
@@ -400,19 +416,21 @@ mod tests {
     #[test]
     fn concurrent_key_sum_validation() {
         let t = Arc::new(LazySkipList::new());
+        let mut h = t.handle();
         let mut handles = Vec::new();
         for tid in 0..6u64 {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
+                let mut h = t.handle();
                 let mut rng = StdRng::seed_from_u64(tid);
                 let mut net: i128 = 0;
                 for _ in 0..15_000 {
                     let k = rng.gen_range(0..1_000u64);
                     if rng.gen_bool(0.5) {
-                        if t.insert(k, k).is_none() {
+                        if h.insert(k, k).is_none() {
                             net += k as i128;
                         }
-                    } else if t.delete(k).is_some() {
+                    } else if h.delete(k).is_some() {
                         net -= k as i128;
                     }
                 }
@@ -426,7 +444,7 @@ mod tests {
         // Sum the remaining keys through the map interface.
         let mut sum = 0i128;
         for k in 0..1_000u64 {
-            if t.contains(k) {
+            if h.contains(k) {
                 sum += k as i128;
             }
         }
@@ -437,17 +455,18 @@ mod tests {
     fn native_range_matches_collect() {
         let mut rng = StdRng::seed_from_u64(3);
         let t = LazySkipList::new();
+        let mut h = t.handle();
         for _ in 0..3_000 {
             let k = rng.gen_range(0..1_000u64);
             if rng.gen_bool(0.7) {
-                t.insert(k, k * 2);
+                h.insert(k, k * 2);
             } else {
-                t.delete(k);
+                h.delete(k);
             }
         }
         let all = t.collect();
         let mut out = Vec::new();
-        t.range(100, 899, &mut out);
+        h.range(100, 899, &mut out);
         let expected: Vec<(u64, u64)> = all
             .iter()
             .copied()
@@ -455,14 +474,14 @@ mod tests {
             .collect();
         assert_eq!(out, expected);
         assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
-        t.range(5, 2, &mut out);
+        h.range(5, 2, &mut out);
         assert!(out.is_empty(), "lo > hi must be empty");
-        assert_eq!(t.scan_len(100, 100), expected.iter().filter(|&&(k, _)| k < 200).count());
+        assert_eq!(h.scan_len(100, 100), expected.iter().filter(|&&(k, _)| k < 200).count());
     }
 
     #[test]
     fn towers_spread_across_levels() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HandleRng::from_seed(7);
         let mut max_seen = 0;
         for _ in 0..10_000 {
             max_seen = max_seen.max(LazySkipList::random_level(&mut rng));

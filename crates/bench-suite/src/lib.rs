@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use abtree::ConcurrentMap;
+use abtree::{MapHandle as _, SessionMap};
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::prelude::*;
 use setbench::{default_thread_counts, MicrobenchConfig, MicrobenchInstance};
@@ -103,7 +103,10 @@ pub fn bench_microbench_figure(
 /// Runs `total_ops` operations over `map` from `threads` threads with the
 /// given distribution/mix; returns the elapsed time.  Used by the ablation
 /// benches, which construct tree variants not exposed through the registry.
-pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
+/// Each worker opens one statically-dispatched session
+/// ([`SessionMap::session`]) for its whole batch, so the measured loop is
+/// monomorphized — no per-op virtual call.
+pub fn run_fixed_ops<M: SessionMap + 'static>(
     map: &Arc<M>,
     dist: &KeyDistribution,
     mix: OperationMix,
@@ -117,23 +120,24 @@ pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
             let map = Arc::clone(map);
             let dist = dist.clone();
             scope.spawn(move || {
+                let mut session = map.session();
                 let mut rng = StdRng::seed_from_u64(0xA11CE ^ t as u64);
                 let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                 for _ in 0..per_thread {
                     let key = dist.sample(&mut rng);
                     match mix.sample(&mut rng) {
                         Operation::Insert => {
-                            std::hint::black_box(map.insert(key, key));
+                            std::hint::black_box(session.insert(key, key));
                         }
                         Operation::Delete => {
-                            std::hint::black_box(map.delete(key));
+                            std::hint::black_box(session.delete(key));
                         }
                         Operation::Find => {
-                            std::hint::black_box(map.get(key));
+                            std::hint::black_box(session.get(key));
                         }
                         Operation::Scan => {
                             let len = rng.gen_range(1..=workload::DEFAULT_MAX_SCAN_LEN);
-                            map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                            session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                             std::hint::black_box(scan_buf.len());
                         }
                     }
@@ -144,12 +148,13 @@ pub fn run_fixed_ops<M: ConcurrentMap + 'static>(
     start.elapsed()
 }
 
-/// Prefills `map` to half of `key_range`.
-pub fn prefill_map<M: ConcurrentMap>(map: &M, key_range: u64) {
+/// Prefills `map` to half of `key_range` through a single session.
+pub fn prefill_map<M: SessionMap>(map: &M, key_range: u64) {
+    let mut session = map.session();
     let mut rng = StdRng::seed_from_u64(7);
     let mut inserted = 0;
     while inserted < key_range / 2 {
-        if map.insert(rng.gen_range(0..key_range), 0).is_none() {
+        if session.insert(rng.gen_range(0..key_range), 0).is_none() {
             inserted += 1;
         }
     }

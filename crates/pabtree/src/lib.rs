@@ -30,11 +30,12 @@
 //!
 //! abpmem::set_mode(abpmem::PersistMode::CountOnly);
 //! let tree: PElimABTree = PElimABTree::new();
-//! assert_eq!(tree.insert(1, 10), None);
-//! assert_eq!(tree.get(1), Some(10));
+//! let mut session = tree.handle(); // one per worker thread
+//! assert_eq!(session.insert(1, 10), None);
+//! assert_eq!(session.get(1), Some(10));
 //! // After a (simulated) crash, recovery restores the volatile fields.
-//! tree.recover();
-//! assert_eq!(tree.get(1), Some(10));
+//! session.recover();
+//! assert_eq!(session.get(1), Some(10));
 //! ```
 
 #![warn(missing_docs)]
@@ -93,6 +94,7 @@ mod tests {
         let occ: POccABTree = POccABTree::new();
         let elim: PElimABTree = PElimABTree::new();
         for t in [&occ as &dyn ConcurrentMap, &elim as &dyn ConcurrentMap] {
+            let mut t = t.handle();
             for k in 0..2_000u64 {
                 assert_eq!(t.insert(k, k * 3), None);
             }
@@ -121,6 +123,7 @@ mod tests {
         let session = TrackingSession::start();
         abpmem::set_mode(PersistMode::CountOnly);
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         // Pre-insert a key so the next insert is a simple (non-splitting)
         // insert into an existing leaf, then clear the log.
         tree.insert(1, 1);
@@ -148,6 +151,7 @@ mod tests {
         let _setup = TrackingSession::start();
         abpmem::set_mode(PersistMode::CountOnly);
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         for k in 0..5u64 {
             tree.insert(k, k);
         }
@@ -171,6 +175,7 @@ mod tests {
         let _session = TrackingSession::start();
         abpmem::set_mode(PersistMode::CountOnly);
         let tree: PElimABTree = PElimABTree::new();
+        let mut tree = tree.handle();
         tree.insert(7, 70);
         abpmem::reset_stats();
         assert_eq!(tree.insert(7, 71), Some(70));
@@ -183,6 +188,7 @@ mod tests {
         let session = TrackingSession::start();
         abpmem::set_mode(PersistMode::CountOnly);
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         // Fill the root leaf exactly to capacity...
         for k in 0..abtree::MAX_KEYS as u64 {
             tree.insert(k, k);
@@ -241,14 +247,17 @@ mod tests {
 
         let tree: Arc<PElimABTree> = Arc::new(PElimABTree::new());
         // Seed some structure around the hot key.
+        let mut seeder = tree.handle();
         for k in 0..8u64 {
-            tree.insert(k * 10, 0);
+            seeder.insert(k * 10, 0);
         }
+        drop(seeder);
         abpmem::reset_stats();
         let mut handles = Vec::new();
         for t in 0..8u64 {
             let tree = Arc::clone(&tree);
             handles.push(std::thread::spawn(move || {
+                let mut tree = tree.handle();
                 for i in 0..10_000u64 {
                     if (i + t) % 2 == 0 {
                         tree.insert(42, i);

@@ -67,6 +67,7 @@ mod tests {
     fn recovery_preserves_contents_after_normal_operation() {
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         let mut rng = StdRng::seed_from_u64(1);
         let mut oracle = std::collections::BTreeMap::new();
         for _ in 0..30_000 {
@@ -82,7 +83,7 @@ mod tests {
             }
         }
         let before: Vec<(u64, u64)> = tree.collect();
-        let report = recover(&tree);
+        let report = recover(tree.map());
         tree.check_invariants().unwrap();
         assert_eq!(tree.collect(), before, "recovery must not change contents");
         assert_eq!(report.keys as usize, before.len());
@@ -93,11 +94,12 @@ mod tests {
     fn recovery_is_idempotent() {
         let _s = quiet();
         let tree: PElimABTree = PElimABTree::new();
+        let mut tree = tree.handle();
         for k in 0..3_000u64 {
             tree.insert(k, k + 7);
         }
-        let r1 = recover(&tree);
-        let r2 = recover(&tree);
+        let r1 = recover(tree.map());
+        let r2 = recover(tree.map());
         assert_eq!(r1.keys, r2.keys);
         assert_eq!(r1.leaves, r2.leaves);
         assert_eq!(r1.height, r2.height);
@@ -114,11 +116,12 @@ mod tests {
         // must surface the key.
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         for k in 0..200u64 {
             tree.insert(k, k);
         }
         assert!(tree.force_partial_insert(5_000, 555));
-        let report = recover(&tree);
+        let report = recover(tree.map());
         tree.check_invariants().unwrap();
         assert_eq!(tree.get(5_000), Some(555));
         assert_eq!(report.keys, 201);
@@ -131,11 +134,12 @@ mod tests {
     fn crash_during_delete_is_linearized_at_the_crash() {
         let _s = quiet();
         let tree: PElimABTree = PElimABTree::new();
+        let mut tree = tree.handle();
         for k in 0..200u64 {
             tree.insert(k, k);
         }
         assert!(tree.force_partial_delete(100));
-        recover(&tree);
+        recover(tree.map());
         tree.check_invariants().unwrap();
         assert_eq!(tree.get(100), None, "flushed delete must survive the crash");
         assert_eq!(tree.len(), 199);
@@ -147,12 +151,13 @@ mod tests {
     fn crash_with_unmarked_dirty_pointer_is_repaired() {
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         for k in 0..5_000u64 {
             tree.insert(k, k);
         }
         tree.force_dirty_root_link();
         assert!(tree.has_dirty_links());
-        let report = recover(&tree);
+        let report = recover(tree.map());
         assert!(!tree.has_dirty_links());
         assert_eq!(report.keys, 5_000);
         tree.check_invariants().unwrap();
@@ -166,6 +171,7 @@ mod tests {
     fn multiple_interrupted_operations_recover_together() {
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         for k in (0..1_000u64).step_by(2) {
             tree.insert(k, k);
         }
@@ -173,7 +179,7 @@ mod tests {
         assert!(tree.force_partial_insert(1, 11));
         assert!(tree.force_partial_insert(501, 511));
         assert!(tree.force_partial_delete(600));
-        let report = recover(&tree);
+        let report = recover(tree.map());
         tree.check_invariants().unwrap();
         assert_eq!(tree.get(1), Some(11));
         assert_eq!(tree.get(501), Some(511));
@@ -185,10 +191,11 @@ mod tests {
     fn recovery_report_counts_nodes() {
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();
+        let mut tree = tree.handle();
         for k in 0..20_000u64 {
             tree.insert(k, k);
         }
-        let report = recover(&tree);
+        let report = recover(tree.map());
         assert_eq!(report.keys, 20_000);
         assert!(report.leaves >= 20_000 / abtree::MAX_KEYS as u64);
         assert!(report.internal_nodes > 0);

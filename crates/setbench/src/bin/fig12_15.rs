@@ -1,7 +1,7 @@
 //! Driver for the SetBench microbenchmark figures (Figures 12-15).
 //!
 //! Usage:
-//!   cargo run -p setbench --release --bin fig12_15 -- [keys] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin fig12_15 -- \[keys\] \[seconds-per-cell\]
 //!
 //! `keys` selects the figure: 10000 -> Fig 12, 100000 -> Fig 13,
 //! 1000000 -> Fig 14 (default), 10000000 -> Fig 15.

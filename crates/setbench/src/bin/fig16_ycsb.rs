@@ -1,7 +1,12 @@
 //! Driver for Figure 16: YCSB Workload A throughput.
 //!
 //! Usage:
-//!   cargo run -p setbench --release --bin fig16_ycsb -- [records] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin fig16_ycsb -- \[records\] \[seconds-per-cell\]
+//!   cargo run -p setbench --release --bin fig16_ycsb -- --smoke
+//!
+//! `--smoke` runs a tiny sweep (small record count, short cells, one thread
+//! count) so CI can exercise the full driver path — load phase, per-thread
+//! session handles, request phase, key-sum validation — in seconds.
 //!
 //! The paper loads 100M records; the default here is 10M to fit typical
 //! container memory, which preserves the relative ordering of the curves.
@@ -12,14 +17,19 @@ use setbench::{default_thread_counts, run_ycsb_figure, volatile_structures};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000_000);
-    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let smoke = args.iter().any(|a| a == "--smoke");
     let structures: Vec<String> = volatile_structures().iter().map(|s| s.to_string()).collect();
-    let results = run_ycsb_figure(
-        records,
-        &default_thread_counts(),
-        Duration::from_secs_f64(secs),
-        &structures,
-    );
+    let results = if smoke {
+        run_ycsb_figure(1_000, &[1], Duration::from_millis(50), &structures)
+    } else {
+        let records: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000_000);
+        let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+        run_ycsb_figure(
+            records,
+            &default_thread_counts(),
+            Duration::from_secs_f64(secs),
+            &structures,
+        )
+    };
     assert!(results.iter().all(|r| r.validated), "validation failed");
 }

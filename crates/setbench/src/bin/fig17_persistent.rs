@@ -2,7 +2,7 @@
 //! FPTree-like baseline) at 1M keys and 50% updates.
 //!
 //! Usage:
-//!   cargo run -p setbench --release --bin fig17_persistent -- [keys] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin fig17_persistent -- \[keys\] \[seconds-per-cell\]
 
 use std::time::Duration;
 

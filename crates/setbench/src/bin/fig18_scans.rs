@@ -3,7 +3,7 @@
 //! count over every volatile structure.
 //!
 //! Usage:
-//!   cargo run -p setbench --release --bin fig18_scans -- [records] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin fig18_scans -- \[records\] \[seconds-per-cell\]
 //!   cargo run -p setbench --release --bin fig18_scans -- --smoke
 //!
 //! `--smoke` runs a tiny sweep (small record count, short cells, one scan

@@ -3,7 +3,7 @@
 //! thread count, 1M keys, update rates {100, 50, 10}%, uniform and Zipf(1).
 //!
 //! Usage:
-//!   cargo run -p setbench --release --bin table1_overhead -- [keys] [seconds-per-cell]
+//!   cargo run -p setbench --release --bin table1_overhead -- \[keys\] \[seconds-per-cell\]
 
 use std::time::Duration;
 

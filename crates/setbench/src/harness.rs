@@ -129,11 +129,12 @@ fn prefill_parallel(
             let inserted = Arc::clone(&inserted);
             let checksum = Arc::clone(&checksum);
             handles.push(scope.spawn(move || {
+                let mut session = map.handle();
                 let mut rng = StdRng::seed_from_u64(seed ^ (0x5EED + t as u64));
                 let mut local_sum = 0i128;
                 while inserted.load(Ordering::Relaxed) < target {
                     let key = rng.gen_range(0..key_range);
-                    if map.insert(key, key).is_none() {
+                    if session.insert(key, key).is_none() {
                         inserted.fetch_add(1, Ordering::Relaxed);
                         checksum.fetch_add(key, Ordering::Relaxed);
                         local_sum += key as i128;
@@ -172,6 +173,10 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
             let seed = cfg.seed;
             let max_scan_len = cfg.max_scan_len.max(1);
             handles.push(scope.spawn(move || {
+                // One session per worker for the whole measured phase: this
+                // is the handle API's intended usage (and what makes per-op
+                // pinning a local epoch bump).
+                let mut session = map.handle();
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + 31 * t as u64));
                 let mut tally = ThreadTally::default();
                 let mut scan_buf: Vec<(u64, u64)> = Vec::new();
@@ -181,21 +186,21 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
                         let key = dist.sample(&mut rng);
                         match mix.sample(&mut rng) {
                             Operation::Insert => {
-                                if map.insert(key, key).is_none() {
+                                if session.insert(key, key).is_none() {
                                     tally.inserted_sum += key as i128;
                                 }
                             }
                             Operation::Delete => {
-                                if map.delete(key).is_some() {
+                                if session.delete(key).is_some() {
                                     tally.deleted_sum += key as i128;
                                 }
                             }
                             Operation::Find => {
-                                std::hint::black_box(map.get(key));
+                                std::hint::black_box(session.get(key));
                             }
                             Operation::Scan => {
                                 let len = rng.gen_range(1..=max_scan_len);
-                                map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                                session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                                 std::hint::black_box(scan_buf.len());
                                 tally.scan_ops += 1;
                             }
@@ -257,9 +262,10 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(cfg.records);
             handles.push(scope.spawn(move || {
+                let mut session = map.handle();
                 let mut sum = 0i128;
                 for key in lo..hi {
-                    if map.insert(key, key).is_none() {
+                    if session.insert(key, key).is_none() {
                         sum += key as i128;
                     }
                 }
@@ -283,6 +289,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
             let workload = workload.clone();
             let seed = cfg.seed;
             handles.push(scope.spawn(move || {
+                let mut session = map.handle();
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xFACE + 17 * t as u64));
                 let mut tally = ThreadTally::default();
                 // The "database rows" behind the index: a per-thread sink that
@@ -293,20 +300,20 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
                     for _ in 0..64 {
                         match workload.next_op(&mut rng) {
                             YcsbOp::Read(k) => {
-                                std::hint::black_box(map.get(k));
+                                std::hint::black_box(session.get(k));
                             }
                             YcsbOp::Update(k) => {
-                                if let Some(row) = map.get(k) {
+                                if let Some(row) = session.get(k) {
                                     row_sink = row_sink.wrapping_add(row);
                                 }
                             }
                             YcsbOp::Insert(k) => {
-                                if map.insert(k, k).is_none() {
+                                if session.insert(k, k).is_none() {
                                     tally.inserted_sum += k as i128;
                                 }
                             }
                             YcsbOp::Scan(k, len) => {
-                                map.range(k, k.saturating_add(len - 1), &mut scan_buf);
+                                session.range(k, k.saturating_add(len - 1), &mut scan_buf);
                                 for &(_, row) in &scan_buf {
                                     row_sink = row_sink.wrapping_add(row);
                                 }
@@ -391,23 +398,24 @@ impl MicrobenchInstance {
                 let seed = self.cfg.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
                 let max_scan_len = self.cfg.max_scan_len.max(1);
                 scope.spawn(move || {
+                    let mut session = map.handle();
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                     for _ in 0..per_thread {
                         let key = dist.sample(&mut rng);
                         match mix.sample(&mut rng) {
                             Operation::Insert => {
-                                std::hint::black_box(map.insert(key, key));
+                                std::hint::black_box(session.insert(key, key));
                             }
                             Operation::Delete => {
-                                std::hint::black_box(map.delete(key));
+                                std::hint::black_box(session.delete(key));
                             }
                             Operation::Find => {
-                                std::hint::black_box(map.get(key));
+                                std::hint::black_box(session.get(key));
                             }
                             Operation::Scan => {
                                 let len = rng.gen_range(1..=max_scan_len);
-                                map.range(key, key.saturating_add(len - 1), &mut scan_buf);
+                                session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                                 std::hint::black_box(scan_buf.len());
                             }
                         }
@@ -445,8 +453,9 @@ impl YcsbInstance {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(cfg.records);
                 scope.spawn(move || {
+                    let mut session = map.handle();
                     for key in lo..hi {
-                        map.insert(key, key);
+                        session.insert(key, key);
                     }
                 });
             }
@@ -470,21 +479,22 @@ impl YcsbInstance {
                 let workload = self.workload.clone();
                 let seed = self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
                 scope.spawn(move || {
+                    let mut session = map.handle();
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut sink = 0u64;
                     let mut scan_buf: Vec<(u64, u64)> = Vec::new();
                     for _ in 0..per_thread {
                         match workload.next_op(&mut rng) {
                             YcsbOp::Read(k) | YcsbOp::Update(k) => {
-                                if let Some(v) = map.get(k) {
+                                if let Some(v) = session.get(k) {
                                     sink = sink.wrapping_add(v);
                                 }
                             }
                             YcsbOp::Insert(k) => {
-                                std::hint::black_box(map.insert(k, k));
+                                std::hint::black_box(session.insert(k, k));
                             }
                             YcsbOp::Scan(k, len) => {
-                                map.range(k, k.saturating_add(len - 1), &mut scan_buf);
+                                session.range(k, k.saturating_add(len - 1), &mut scan_buf);
                                 sink = sink.wrapping_add(scan_buf.len() as u64);
                             }
                         }

@@ -23,7 +23,10 @@ use pabtree::{PElimABTree, POccABTree};
 /// A concurrent map that can also report the sum of its keys for validation.
 ///
 /// Implemented automatically for every `ConcurrentMap + KeySum` type; do not
-/// implement it by hand.
+/// implement it by hand.  The harness drives a `Benchable` session-style:
+/// each worker thread opens one [`abtree::MapHandle`] via
+/// `ConcurrentMap::handle` for its whole run, and `key_sum` is read
+/// quiescently after the workers join.
 pub trait Benchable: ConcurrentMap + KeySum {}
 
 impl<T: ConcurrentMap + KeySum + ?Sized> Benchable for T {}
@@ -196,8 +199,10 @@ mod tests {
     fn registry_builds_every_structure() {
         for name in structure_names() {
             let s = make_structure(name);
-            assert_eq!(s.insert(1, 2), None);
-            assert_eq!(s.get(1), Some(2));
+            let mut session = s.handle();
+            assert_eq!(session.insert(1, 2), None);
+            assert_eq!(session.get(1), Some(2));
+            drop(session);
             assert_eq!(s.name(), name);
         }
     }
@@ -276,12 +281,13 @@ mod tests {
         let mut out = Vec::new();
         for d in STRUCTURES {
             let s = (d.factory)();
+            let mut session = s.handle();
             for k in [2u64, 3, 5, 8, 13] {
-                s.insert(k, k * 10);
+                session.insert(k, k * 10);
             }
-            s.range(3, 8, &mut out);
+            session.range(3, 8, &mut out);
             assert_eq!(out, vec![(3, 30), (5, 50), (8, 80)], "{}", d.name);
-            assert_eq!(s.scan_len(0, 14), 5, "{}", d.name);
+            assert_eq!(session.scan_len(0, 14), 5, "{}", d.name);
         }
     }
 }

@@ -35,6 +35,12 @@ pub fn steady_state_size(key_range: u64, insert_pct: u32, delete_pct: u32) -> u6
 /// Inserts uniformly random keys (with value = key) through `insert` until
 /// `target` distinct keys have been inserted.  `insert` must return `true`
 /// when the key was newly inserted and `false` when it was already present.
+///
+/// With the session-handle map API, the closure is typically backed by the
+/// calling thread's own session, e.g.
+/// `|k, v| session.insert(k, v).is_none()` where `session` is the
+/// `abtree::MapHandle` the worker opened for its whole run (the `setbench`
+/// harness prefills exactly this way).
 pub fn prefill<R: Rng + ?Sized>(
     rng: &mut R,
     key_range: u64,

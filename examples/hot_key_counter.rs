@@ -10,21 +10,25 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use elim_abtree_repro::abtree::{ConcurrentMap, ElimABTree, OccABTree};
+use elim_abtree_repro::abtree::{ElimABTree, MapHandle as _, OccABTree, SessionMap};
 
-fn churn<M: ConcurrentMap>(map: &Arc<M>, threads: usize, ops_per_thread: u64) -> f64 {
+fn churn<M: SessionMap>(map: &Arc<M>, threads: usize, ops_per_thread: u64) -> f64 {
     let hot_keys = 8u64;
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let map = Arc::clone(map);
             scope.spawn(move || {
+                // One statically-dispatched session per worker: the EBR
+                // registration, elimination scratch and RNG live here, not
+                // in per-op lookups, and ops are monomorphized.
+                let mut session = map.session();
                 for i in 0..ops_per_thread {
                     let key = (i + t as u64) % hot_keys;
                     if (i + t as u64).is_multiple_of(2) {
-                        map.insert(key, i);
+                        session.insert(key, i);
                     } else {
-                        map.delete(key);
+                        session.delete(key);
                     }
                 }
             });
@@ -41,10 +45,14 @@ fn main() {
     let occ: Arc<OccABTree> = Arc::new(OccABTree::new());
     let elim: Arc<ElimABTree> = Arc::new(ElimABTree::new());
     // Seed some surrounding keys so the hot leaf is an interior leaf.
+    let mut occ_session = occ.handle();
+    let mut elim_session = elim.handle();
     for k in 0..64u64 {
-        occ.insert(1_000 + k, 0);
-        elim.insert(1_000 + k, 0);
+        occ_session.insert(1_000 + k, 0);
+        elim_session.insert(1_000 + k, 0);
     }
+    drop(occ_session);
+    drop(elim_session);
 
     let occ_mops = churn(&occ, threads, ops);
     let elim_mops = churn(&elim, threads, ops);

@@ -14,8 +14,9 @@ fn main() {
     pmem::reset_stats();
 
     let tree: PElimABTree = PElimABTree::new();
+    let mut session = tree.handle();
     for k in 0..100_000u64 {
-        tree.insert(k, k * 7);
+        session.insert(k, k * 7);
     }
     let stats = pmem::stats();
     println!(
@@ -41,8 +42,8 @@ fn main() {
 
     // Durable linearizability: the interrupted insert and delete were
     // linearized at the crash, so their effects survive.
-    assert_eq!(tree.get(1_000_000), Some(42));
-    assert_eq!(tree.get(5_000), None);
+    assert_eq!(session.get(1_000_000), Some(42));
+    assert_eq!(session.get(5_000), None);
     tree.check_invariants().expect("recovered tree is well-formed");
     println!("recovered index holds {} keys and passes validation", tree.len());
 }

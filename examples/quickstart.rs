@@ -10,11 +10,14 @@ fn main() {
     // An Elim-ABtree over 8-byte keys and values (u64::MAX is reserved).
     let tree: Arc<ElimABTree> = Arc::new(ElimABTree::new());
 
-    // Basic single-threaded usage.
-    assert_eq!(tree.insert(10, 100), None);
-    assert_eq!(tree.insert(10, 999), Some(100)); // key already present
-    assert_eq!(tree.get(10), Some(100));
-    assert_eq!(tree.delete(10), Some(100));
+    // Basic single-threaded usage: open one session handle per thread and
+    // run every operation through it.
+    let mut session = tree.handle();
+    assert_eq!(session.insert(10, 100), None);
+    assert_eq!(session.insert(10, 999), Some(100)); // key already present
+    assert_eq!(session.get(10), Some(100));
+    assert_eq!(session.delete(10), Some(100));
+    drop(session);
 
     // Concurrent usage: spawn writers over disjoint key ranges and a few
     // readers, then validate the contents.
@@ -24,17 +27,19 @@ fn main() {
         for w in 0..writers {
             let tree = Arc::clone(&tree);
             scope.spawn(move || {
+                let mut session = tree.handle();
                 let base = w * per_writer;
                 for k in base..base + per_writer {
-                    tree.insert(k, k * 2);
+                    session.insert(k, k * 2);
                 }
             });
         }
         for _ in 0..2 {
             let tree = Arc::clone(&tree);
             scope.spawn(move || {
+                let mut session = tree.handle();
                 for k in (0..writers * per_writer).step_by(1001) {
-                    if let Some(v) = tree.get(k) {
+                    if let Some(v) = session.get(k) {
                         assert_eq!(v, k * 2);
                     }
                 }

@@ -18,22 +18,24 @@ fn main() {
         for feed in 0..4i64 {
             let store = Arc::clone(&store);
             scope.spawn(move || {
+                let mut session = store.handle();
                 for i in 0..50_000i64 {
                     let order_id = (i - 25_000) * 4 + feed;
                     let price = (order_id.unsigned_abs() % 10_000) as f64 / 100.0;
-                    store.insert(order_id, price);
+                    session.insert(order_id, price);
                 }
             });
         }
     });
 
-    // Point lookups and deletions.
+    // Point lookups and deletions, through a session of this thread.
+    let mut session = store.handle();
     let probe = -37_001i64;
-    if let Some(price) = store.get(probe) {
+    if let Some(price) = session.get(probe) {
         println!("order {probe} priced at {price:.2}");
     }
-    let removed = store.remove(probe);
-    assert_eq!(store.get(probe), None);
+    let removed = session.remove(probe);
+    assert_eq!(session.get(probe), None);
     println!(
         "typed_kv_store: ingested 200k orders, removed {probe} (was {removed:?})"
     );

@@ -64,11 +64,16 @@ fn descriptor_table_drives_harness_and_figures() {
 fn registry_and_direct_construction_agree() {
     let from_registry = make_structure("elim-abtree");
     let direct: ElimABTree = ElimABTree::new();
+    let mut registry_session = from_registry.handle();
+    let mut direct_session = direct.handle();
     for k in 0..100u64 {
-        assert_eq!(from_registry.insert(k, k), direct.insert(k, k));
+        assert_eq!(
+            registry_session.insert(k, k),
+            direct_session.insert(k, k)
+        );
     }
     for k in 0..100u64 {
-        assert_eq!(from_registry.get(k), direct.get(k));
+        assert_eq!(registry_session.get(k), direct_session.get(k));
     }
 }
 
@@ -76,6 +81,7 @@ fn registry_and_direct_construction_agree() {
 fn durable_tree_survives_crash_workflow_end_to_end() {
     pmem::set_mode(PersistMode::CountOnly);
     let tree: POccABTree = POccABTree::new();
+    let mut tree = tree.handle();
     // A realistic mixed workload.
     for k in 0..20_000u64 {
         tree.insert(k, k + 1);
@@ -88,7 +94,7 @@ fn durable_tree_survives_crash_workflow_end_to_end() {
     assert!(tree.force_partial_delete(10));
     let before_crash_survivors = tree.len();
 
-    let report = recover(&tree);
+    let report = recover(tree.map());
     tree.check_invariants().unwrap();
     assert_eq!(tree.get(50_000), Some(7));
     assert_eq!(tree.get(10), None);
@@ -123,6 +129,8 @@ fn durable_elim_tree_matches_volatile_semantics_under_contention() {
                 let dist = dist.clone();
                 handles.push(scope.spawn(move || {
                     use rand::prelude::*;
+                    let mut durable = durable.handle();
+                    let mut volatile = volatile.handle();
                     let mut rng = StdRng::seed_from_u64(t);
                     let mut net = 0i128;
                     for _ in 0..20_000 {
@@ -165,12 +173,14 @@ fn durable_elim_tree_matches_volatile_semantics_under_contention() {
 #[test]
 fn typed_wrapper_over_registry_structures() {
     let tree: TypedTree<i64, f64, ElimABTree> = TypedTree::default();
+    let mut session = tree.handle();
     for i in -500..500i64 {
-        assert_eq!(tree.insert(i, i as f64 / 4.0), None);
+        assert_eq!(session.insert(i, i as f64 / 4.0), None);
     }
-    assert_eq!(tree.get(-250), Some(-62.5));
-    assert_eq!(tree.remove(-250), Some(-62.5));
-    assert_eq!(tree.get(-250), None);
+    assert_eq!(session.get(-250), Some(-62.5));
+    assert_eq!(session.remove(-250), Some(-62.5));
+    assert_eq!(session.get(-250), None);
+    drop(session);
     assert_eq!(tree.inner().len(), 999);
 }
 
@@ -178,6 +188,7 @@ fn typed_wrapper_over_registry_structures() {
 fn workload_generators_drive_real_structures() {
     use rand::prelude::*;
     let tree: ElimABTree = ElimABTree::new();
+    let mut tree = tree.handle();
     let dist = KeyDistribution::zipfian(10_000, 1.0);
     let mix = OperationMix::from_update_and_scan_percent(50, 10);
     let mut rng = StdRng::seed_from_u64(0);
