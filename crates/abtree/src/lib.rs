@@ -181,6 +181,38 @@ pub trait MapHandle {
         n
     }
 
+    /// Looks up every key in `keys`, pushing one `Option<u64>` per key onto
+    /// `out` (cleared first) in input order.
+    ///
+    /// The default implementation loops over [`get`](Self::get), but on the
+    /// *concrete* session type: through a `Box<dyn MapHandle>`, a batch of
+    /// `n` lookups therefore costs one virtual dispatch instead of `n`, which
+    /// is what makes batched multi-gets cheaper than `n` single gets in the
+    /// service layer.  Structures may override it with a genuinely batched
+    /// traversal.
+    fn get_batch(&mut self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.get(key));
+        }
+    }
+
+    /// Inserts every `(key, value)` pair (insert-if-absent semantics, see
+    /// [`insert`](Self::insert)), pushing each pair's result onto `out`
+    /// (cleared first) in input order.
+    ///
+    /// Same dispatch story as [`get_batch`](Self::get_batch): the default
+    /// loops over `insert` on the concrete session type, so a boxed session
+    /// pays one virtual call per batch, not per pair.
+    fn insert_batch(&mut self, pairs: &[(u64, u64)], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.reserve(pairs.len());
+        for &(key, value) in pairs {
+            out.push(self.insert(key, value));
+        }
+    }
+
     /// Detaches the handle's reusable scan buffer (plumbing for the default
     /// [`scan_len`](Self::scan_len); pair with
     /// [`put_scan_buf`](Self::put_scan_buf)).
@@ -237,6 +269,27 @@ pub trait ConcurrentMap: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed maps are maps too, so registry-built `Box<dyn ...>` values (e.g.
+/// the benchmark registry's `Box<dyn Benchable>`) can flow anywhere a
+/// `ConcurrentMap` is expected — the service layer's shards are built this
+/// way.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        (**self).handle()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Companion to the boxed-[`ConcurrentMap`] impl: quiescent validation stays
+/// reachable through the box.
+impl<M: KeySum + ?Sized> KeySum for Box<M> {
+    fn key_sum(&self) -> u128 {
+        (**self).key_sum()
+    }
+}
+
 /// Boxed sessions are sessions too, so `Box<dyn MapHandle>` (what
 /// [`ConcurrentMap::handle`] returns) can flow into generic code written
 /// against `H: MapHandle`.
@@ -255,6 +308,12 @@ impl<H: MapHandle + ?Sized> MapHandle for Box<H> {
     }
     fn range(&mut self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
         (**self).range(lo, hi, out)
+    }
+    fn get_batch(&mut self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        (**self).get_batch(keys, out)
+    }
+    fn insert_batch(&mut self, pairs: &[(u64, u64)], out: &mut Vec<Option<u64>>) {
+        (**self).insert_batch(pairs, out)
     }
     fn scan_len(&mut self, lo: u64, len: u64) -> usize {
         (**self).scan_len(lo, len)
@@ -297,6 +356,11 @@ pub trait SessionMap: ConcurrentMap {
 /// collector registration on every operation — the exact overhead the
 /// session API removes — so it is strictly a migration aid.  Open a handle
 /// per thread instead.
+///
+/// The shim's surface has been shrunk to the three point operations: every
+/// `contains`/`range`/`scan_len` caller has been migrated to sessions, and
+/// the remaining users are the `bench_handles` before/after benchmark (which
+/// measures this exact compat path) and code actively mid-migration.
 #[deprecated(
     since = "0.1.0",
     note = "open a per-thread session with `ConcurrentMap::handle` instead of \
@@ -309,12 +373,6 @@ pub trait LegacyMap {
     fn delete(&self, key: u64) -> Option<u64>;
     /// `get` through a throwaway session (see [`MapHandle::get`]).
     fn get(&self, key: u64) -> Option<u64>;
-    /// `contains` through a throwaway session.
-    fn contains(&self, key: u64) -> bool;
-    /// `range` through a throwaway session (see [`MapHandle::range`]).
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>);
-    /// `scan_len` through a throwaway session.
-    fn scan_len(&self, lo: u64, len: u64) -> usize;
 }
 
 #[allow(deprecated)]
@@ -327,15 +385,6 @@ impl<M: ConcurrentMap + ?Sized> LegacyMap for M {
     }
     fn get(&self, key: u64) -> Option<u64> {
         self.handle().get(key)
-    }
-    fn contains(&self, key: u64) -> bool {
-        self.handle().contains(key)
-    }
-    fn range(&self, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
-        self.handle().range(lo, hi, out)
-    }
-    fn scan_len(&self, lo: u64, len: u64) -> usize {
-        self.handle().scan_len(lo, len)
     }
 }
 
@@ -374,15 +423,35 @@ mod tests {
     fn legacy_shim_opens_a_session_per_call() {
         let tree: ElimABTree = ElimABTree::new();
         let map: &dyn ConcurrentMap = &tree;
-        // The deprecated &self API still works for unmigrated callers.
+        // The deprecated &self point ops still work for unmigrated callers.
         assert_eq!(LegacyMap::insert(map, 7, 70), None);
         assert_eq!(LegacyMap::get(map, 7), Some(70));
-        assert!(LegacyMap::contains(map, 7));
-        let mut out = Vec::new();
-        LegacyMap::range(map, 0, 10, &mut out);
-        assert_eq!(out, vec![(7, 70)]);
-        assert_eq!(LegacyMap::scan_len(map, 0, 10), 1);
         assert_eq!(LegacyMap::delete(map, 7), Some(70));
         assert_eq!(LegacyMap::get(map, 7), None);
+    }
+
+    #[test]
+    fn boxed_maps_are_maps() {
+        let tree: ElimABTree = ElimABTree::new();
+        let boxed: Box<dyn ConcurrentMap> = Box::new(tree);
+        let mut session = boxed.handle();
+        assert_eq!(session.insert(3, 30), None);
+        assert_eq!(session.get(3), Some(30));
+        drop(session);
+        assert_eq!(boxed.name(), "elim-abtree");
+    }
+
+    #[test]
+    fn batch_defaults_match_singles() {
+        let tree: OccABTree = OccABTree::new();
+        let mut session = tree.handle();
+        let mut results = Vec::new();
+        session.insert_batch(&[(1, 10), (2, 20), (1, 99)], &mut results);
+        assert_eq!(results, vec![None, None, Some(10)], "insert-if-absent");
+        session.get_batch(&[2, 7, 1], &mut results);
+        assert_eq!(results, vec![Some(20), None, Some(10)], "input order");
+        // Batches clear the output buffer before refilling it.
+        session.get_batch(&[1], &mut results);
+        assert_eq!(results, vec![Some(10)]);
     }
 }

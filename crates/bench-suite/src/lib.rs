@@ -123,6 +123,7 @@ pub fn run_fixed_ops<M: SessionMap + 'static>(
                 let mut session = map.session();
                 let mut rng = StdRng::seed_from_u64(0xA11CE ^ t as u64);
                 let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+                let mut batch = setbench::BatchScratch::default();
                 for _ in 0..per_thread {
                     let key = dist.sample(&mut rng);
                     match mix.sample(&mut rng) {
@@ -139,6 +140,12 @@ pub fn run_fixed_ops<M: SessionMap + 'static>(
                             let len = rng.gen_range(1..=workload::DEFAULT_MAX_SCAN_LEN);
                             session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                             std::hint::black_box(scan_buf.len());
+                        }
+                        Operation::MGet => {
+                            batch.mget(&mut session, &dist, key, &mut rng);
+                        }
+                        Operation::MPut => {
+                            std::hint::black_box(batch.mput(&mut session, &dist, key, &mut rng));
                         }
                     }
                 }

@@ -1,0 +1,72 @@
+//! `kvserve`: an embedded, sharded, batched key-value service layer over
+//! the engine's per-thread [`abtree::MapHandle`] sessions.
+//!
+//! The reproduction's trees absorb high-contention update traffic; this
+//! crate grows them toward the front half of a real serving system.  It
+//! adds the pieces a data structure does not have but a service needs:
+//!
+//! * **Sharding** ([`KvService`]): `S` independent engine instances behind
+//!   a multiplicative-hash router.  Each shard can be any structure —
+//!   concrete trees, or the benchmark registry's `Box<dyn Benchable>` trait
+//!   objects (the [`ShardStore`] bound is blanket-implemented for every
+//!   `ConcurrentMap + KeySum` type).
+//! * **Per-worker routing sessions** ([`ShardRouter`]): one engine session
+//!   per shard, opened once and pinned to the worker, so serving a request
+//!   costs a local epoch pin — never a collector registration.
+//! * **Request batching** ([`Request::MGet`]/[`Request::MPut`]): batches
+//!   are regrouped by destination shard and served with one virtual
+//!   dispatch, one latency sample and one stats pass per shard touched,
+//!   instead of per key.
+//! * **A compact wire codec** ([`codec`]): varint-based request/response
+//!   framing with strict, allocation-capped decoding.
+//! * **Namespaces** ([`Namespace`]): 16-bit tenant prefixes packed into the
+//!   high key bits, keeping each tenant's keys contiguous in the ordered
+//!   shards (a tenant scan is one window).
+//! * **Observability** ([`ServiceStats`]): per-shard and per-namespace
+//!   counters (ops, hit rate) plus fixed-bucket power-of-two histograms for
+//!   p50/p99 latency and batch sizes — no external crates.
+//!
+//! # Example
+//!
+//! ```
+//! use kvserve::{KvService, Namespace, Request, Response};
+//!
+//! // Four elim-abtree shards, stats for up to 2 tenants.
+//! let service = KvService::new(4, 2, |_| {
+//!     let tree: abtree::ElimABTree = abtree::ElimABTree::new();
+//!     Box::new(tree)
+//! });
+//!
+//! // One router per worker thread.
+//! let mut router = service.router();
+//! let tenant = Namespace::new(1);
+//! assert_eq!(router.put(tenant.prefixed(7), 700), None);
+//! assert_eq!(
+//!     router.execute(&Request::Get { key: tenant.prefixed(7) }),
+//!     Response::Value(Some(700)),
+//! );
+//!
+//! // Batches amortize dispatch and bookkeeping across keys.
+//! let keys: Vec<u64> = (0..8).map(|k| tenant.prefixed(k)).collect();
+//! let mut values = Vec::new();
+//! router.mget(&keys, &mut values);
+//! assert_eq!(values[7], Some(700));
+//! drop(router);
+//! assert!(service.stats().namespace(1).hits() >= 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod namespace;
+pub mod request;
+pub mod service;
+pub mod stats;
+
+pub use codec::{
+    decode_batch, decode_response_batch, encode_batch, encode_response_batch, CodecError,
+};
+pub use namespace::{Namespace, LOCAL_KEY_BITS, MAX_LOCAL_KEY};
+pub use request::{Request, Response};
+pub use service::{KvService, ShardRouter, ShardStore};
+pub use stats::{Histogram, OpCounters, ServiceStats};

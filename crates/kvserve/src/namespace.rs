@@ -1,0 +1,138 @@
+//! The multi-tenant namespace layer: tenant prefixes packed into keys.
+//!
+//! The engine stores plain `u64 -> u64`; the service layer carves the 64-bit
+//! key space into a 16-bit **tenant prefix** and a 48-bit **local key**:
+//!
+//! ```text
+//!   63            48 47                                0
+//!  +----------------+----------------------------------+
+//!  |  tenant (u16)  |         local key (48 bits)      |
+//!  +----------------+----------------------------------+
+//! ```
+//!
+//! Packing the tenant into the high bits keeps each tenant's keys
+//! *contiguous* in the ordered engine, so a per-tenant scan is one window
+//! ([`Namespace::key_range`]) rather than a filtered full scan.  The engine
+//! reserves `u64::MAX` ([`abtree::EMPTY_KEY`]) as its "no key" sentinel,
+//! which falls inside the last tenant's slice; [`Namespace::prefixed`]
+//! therefore rejects the single colliding `(tenant, key)` combination.
+
+use abtree::EMPTY_KEY;
+
+/// Number of low bits holding the tenant-local key.
+pub const LOCAL_KEY_BITS: u32 = 48;
+
+/// Largest tenant-local key: local keys are 48-bit.
+pub const MAX_LOCAL_KEY: u64 = (1 << LOCAL_KEY_BITS) - 1;
+
+/// A tenant namespace: a 16-bit prefix over the engine's key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Namespace(u16);
+
+impl Namespace {
+    /// The namespace with tenant id `id`.
+    pub fn new(id: u16) -> Self {
+        Namespace(id)
+    }
+
+    /// This namespace's tenant id.
+    pub fn id(&self) -> u16 {
+        self.0
+    }
+
+    /// Packs a tenant-local key into the full engine key.
+    ///
+    /// Panics if `key` exceeds [`MAX_LOCAL_KEY`] or if the combination is
+    /// the engine's reserved [`EMPTY_KEY`] sentinel (only
+    /// `(u16::MAX, MAX_LOCAL_KEY)` collides).
+    #[inline]
+    pub fn prefixed(&self, key: u64) -> u64 {
+        assert!(
+            key <= MAX_LOCAL_KEY,
+            "local key {key} exceeds the {LOCAL_KEY_BITS}-bit tenant key space"
+        );
+        let packed = ((self.0 as u64) << LOCAL_KEY_BITS) | key;
+        assert!(
+            packed != EMPTY_KEY,
+            "(tenant {}, key {key}) packs to the reserved EMPTY_KEY sentinel",
+            self.0
+        );
+        packed
+    }
+
+    /// Splits a full engine key back into `(namespace, local key)`.
+    #[inline]
+    pub fn split(packed: u64) -> (Namespace, u64) {
+        (
+            Namespace((packed >> LOCAL_KEY_BITS) as u16),
+            packed & MAX_LOCAL_KEY,
+        )
+    }
+
+    /// Whether `packed` belongs to this namespace.
+    #[inline]
+    pub fn contains(&self, packed: u64) -> bool {
+        (packed >> LOCAL_KEY_BITS) as u16 == self.0
+    }
+
+    /// The inclusive window of engine keys owned by this namespace — feed it
+    /// to a scan to enumerate one tenant's data.  The last tenant's upper
+    /// bound is clamped below the reserved [`EMPTY_KEY`] sentinel.
+    pub fn key_range(&self) -> (u64, u64) {
+        let lo = (self.0 as u64) << LOCAL_KEY_BITS;
+        let hi = (lo | MAX_LOCAL_KEY).min(EMPTY_KEY - 1);
+        (lo, hi)
+    }
+}
+
+impl std::fmt::Display for Namespace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_split_round_trips() {
+        for (tenant, key) in [(0u16, 0u64), (1, 42), (u16::MAX, 0), (7, MAX_LOCAL_KEY)] {
+            let ns = Namespace::new(tenant);
+            let packed = ns.prefixed(key);
+            assert_eq!(Namespace::split(packed), (ns, key));
+            assert!(ns.contains(packed));
+            assert!(!Namespace::new(tenant.wrapping_add(1)).contains(packed));
+            let (lo, hi) = ns.key_range();
+            assert!((lo..=hi).contains(&packed));
+        }
+    }
+
+    #[test]
+    fn namespaces_are_contiguous_and_ordered() {
+        let a = Namespace::new(3);
+        let b = Namespace::new(4);
+        assert!(a.key_range().1 < b.key_range().0);
+        assert_eq!(a.key_range().1 + 1, b.key_range().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_local_key_panics() {
+        Namespace::new(0).prefixed(MAX_LOCAL_KEY + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY_KEY")]
+    fn the_one_reserved_combination_panics() {
+        Namespace::new(u16::MAX).prefixed(MAX_LOCAL_KEY);
+    }
+
+    #[test]
+    fn last_tenant_range_excludes_the_sentinel() {
+        let (lo, hi) = Namespace::new(u16::MAX).key_range();
+        assert_eq!(hi, EMPTY_KEY - 1);
+        assert!(lo < hi);
+        assert_eq!(Namespace::new(u16::MAX).to_string(), "tenant#65535");
+    }
+}

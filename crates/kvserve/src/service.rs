@@ -1,0 +1,567 @@
+//! The sharded service and its per-worker routers.
+//!
+//! A [`KvService`] owns `S` independent engine instances (*shards*) plus the
+//! shared [`ServiceStats`].  Keys are spread over shards with a
+//! multiplicative hash, so contiguous hot key ranges (Zipfian traffic) still
+//! fan out — but a *single* hot key concentrates on one shard, which is the
+//! hot-shard regime the load driver exercises.
+//!
+//! All request traffic flows through per-worker [`ShardRouter`] sessions.  A
+//! router opens one [`MapHandle`] per shard **once** and keeps them for its
+//! lifetime, so the per-operation cost is a local epoch pin in the target
+//! shard rather than a collector registration; batches additionally amortize
+//! virtual dispatch (one `get_batch`/`insert_batch` call per shard touched)
+//! and the latency bookkeeping (one timestamp pair per batch).
+
+use std::time::Instant;
+
+use abtree::{ConcurrentMap, KeySum, MapHandle};
+
+use crate::request::{Request, Response};
+use crate::stats::ServiceStats;
+
+/// What a shard must provide: per-thread sessions ([`ConcurrentMap`]) plus
+/// quiescent key-sum validation ([`KeySum`]).
+///
+/// Blanket-implemented for every `ConcurrentMap + KeySum` type, which
+/// includes the benchmark registry's `Box<dyn Benchable>` values — so any
+/// registry structure can serve as a shard.
+pub trait ShardStore: ConcurrentMap + KeySum {}
+
+impl<T: ConcurrentMap + KeySum + ?Sized> ShardStore for T {}
+
+/// A sharded, batched, embedded key-value service (see the module docs).
+pub struct KvService {
+    shards: Vec<Box<dyn ShardStore>>,
+    stats: ServiceStats,
+}
+
+impl KvService {
+    /// Builds a service with `shards` shards and `namespace_slots`
+    /// namespace-stat rows (both clamped to at least 1), constructing each
+    /// shard with `factory` (called with the shard index).
+    ///
+    /// The factory returns boxed [`ShardStore`]s, so shards can be concrete
+    /// trees (`Box::new(ElimABTree::new())`) or registry-built trait objects
+    /// (`Box::new(make_structure(name))`).
+    pub fn new(
+        shards: usize,
+        namespace_slots: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn ShardStore>,
+    ) -> Self {
+        let shards: Vec<_> = (0..shards.max(1)).map(&mut factory).collect();
+        let stats = ServiceStats::new(shards.len(), namespace_slots.max(1));
+        Self { shards, stats }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared statistics (counters update live as routers serve
+    /// traffic).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// The shard serving `key`: high bits of a Fibonacci multiplicative
+    /// hash, range-reduced without division.
+    ///
+    /// Panics on the engine's reserved [`abtree::EMPTY_KEY`] sentinel: the
+    /// router sits on the wire boundary, and the codec accepts any `u64`, so
+    /// this is the always-on guard (the engine itself only debug-asserts)
+    /// that keeps a hostile or corrupt-but-well-formed frame from storing
+    /// the empty-slot marker into a shard.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        assert!(
+            key != abtree::EMPTY_KEY,
+            "the reserved EMPTY_KEY sentinel cannot be stored or queried"
+        );
+        let hashed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((hashed as u128 * self.shards.len() as u128) >> 64) as usize
+    }
+
+    /// Opens a per-worker router session (one [`MapHandle`] per shard).
+    /// Call once per worker thread, like [`ConcurrentMap::handle`].
+    pub fn router(&self) -> ShardRouter<'_> {
+        ShardRouter {
+            handles: self.shards.iter().map(|s| s.handle()).collect(),
+            groups: (0..self.shards.len()).map(|_| Group::default()).collect(),
+            touched: Vec::new(),
+            service: self,
+            batch_results: Vec::new(),
+            shard_scan: Vec::new(),
+        }
+    }
+
+    /// Sum of keys stored across all shards.  Quiescent only, like
+    /// [`KeySum::key_sum`]; drives the cross-shard checksum validation.
+    pub fn key_sum(&self) -> u128 {
+        self.shards.iter().map(|s| s.key_sum()).sum()
+    }
+
+    /// Per-shard key sums, in shard order (quiescent only).
+    pub fn shard_key_sums(&self) -> Vec<u128> {
+        self.shards.iter().map(|s| s.key_sum()).collect()
+    }
+
+    /// The registry name of shard `index`'s structure.
+    pub fn shard_name(&self, index: usize) -> &'static str {
+        self.shards[index].name()
+    }
+}
+
+impl std::fmt::Debug for KvService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvService")
+            .field("shards", &self.shards.len())
+            .field("structure", &self.shards.first().map(|s| s.name()))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-shard scratch used to regroup a batch by destination shard.
+#[derive(Default)]
+struct Group {
+    keys: Vec<u64>,
+    pairs: Vec<(u64, u64)>,
+    /// Original batch positions of this group's entries, for scattering
+    /// results back into input order.
+    positions: Vec<u32>,
+}
+
+/// A per-worker session over the whole service: one pinned engine session
+/// per shard, plus regrouping scratch so batch execution allocates nothing
+/// in steady state.
+///
+/// Obtained from [`KvService::router`]; like the engine handles it wraps, a
+/// router must stay on the thread that opened it.
+pub struct ShardRouter<'s> {
+    service: &'s KvService,
+    handles: Vec<Box<dyn MapHandle + 's>>,
+    groups: Vec<Group>,
+    /// Shards with a non-empty group in the batch being executed (sparse
+    /// clear: only touched groups are reset).
+    touched: Vec<usize>,
+    batch_results: Vec<Option<u64>>,
+    shard_scan: Vec<(u64, u64)>,
+}
+
+impl<'s> ShardRouter<'s> {
+    /// The service this router serves.
+    pub fn service(&self) -> &'s KvService {
+        self.service
+    }
+
+    /// Point lookup of `key`.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        let stats = &self.service.stats;
+        let shard = self.service.shard_of(key);
+        let started = Instant::now();
+        let value = self.handles[shard].get(key);
+        stats.point_latency_ns.record(elapsed_ns(started));
+        stats.shard(shard).record_get(value.is_some());
+        let ns = stats.namespace(stats.namespace_slot(key));
+        ns.record_get(value.is_some());
+        value
+    }
+
+    /// Insert-if-absent of `key -> value`: returns the existing value
+    /// (leaving it unchanged) if `key` was present, `None` if the pair was
+    /// inserted (see [`MapHandle::insert`]).
+    pub fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        let stats = &self.service.stats;
+        let shard = self.service.shard_of(key);
+        let started = Instant::now();
+        let previous = self.handles[shard].insert(key, value);
+        stats.point_latency_ns.record(elapsed_ns(started));
+        stats.shard(shard).record_put();
+        stats.namespace(stats.namespace_slot(key)).record_put();
+        previous
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn delete(&mut self, key: u64) -> Option<u64> {
+        let stats = &self.service.stats;
+        let shard = self.service.shard_of(key);
+        let started = Instant::now();
+        let removed = self.handles[shard].delete(key);
+        stats.point_latency_ns.record(elapsed_ns(started));
+        stats.shard(shard).record_delete();
+        stats.namespace(stats.namespace_slot(key)).record_delete();
+        removed
+    }
+
+    /// Scatter-gather scan of the window `[lo, lo + len - 1]` (clamped below
+    /// the engine's reserved sentinel): every shard is scanned and the
+    /// results are merged into `out`, sorted by key (`out` is cleared
+    /// first).
+    ///
+    /// Each *per-shard* sub-scan has that shard's scan guarantee (a
+    /// linearizable snapshot on the (a,b)-trees); the merged cross-shard
+    /// result is *not* one atomic snapshot — shards are scanned one after
+    /// another, like any scatter-gather service read.
+    pub fn scan(&mut self, lo: u64, len: u64, out: &mut Vec<(u64, u64)>) {
+        // Same boundary guard as `shard_of` (which a scan bypasses): the
+        // reserved sentinel is rejected loudly, not clamped into an empty
+        // result.
+        assert!(
+            lo != abtree::EMPTY_KEY,
+            "the reserved EMPTY_KEY sentinel cannot be stored or queried"
+        );
+        let stats = &self.service.stats;
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        let hi = lo.saturating_add(len - 1).min(abtree::EMPTY_KEY - 1);
+        let started = Instant::now();
+        for (shard, handle) in self.handles.iter_mut().enumerate() {
+            handle.range(lo, hi, &mut self.shard_scan);
+            out.extend_from_slice(&self.shard_scan);
+            stats.shard(shard).record_scan();
+        }
+        out.sort_unstable_by_key(|&(key, _)| key);
+        stats.scan_latency_ns.record(elapsed_ns(started));
+        stats.namespace(stats.namespace_slot(lo)).record_scan();
+    }
+
+    /// Batched multi-get: one lookup per key, results pushed to `out`
+    /// (cleared first) in input order.
+    ///
+    /// Keys are regrouped by destination shard, and each shard serves its
+    /// whole sub-batch through one virtual [`MapHandle::get_batch`] call —
+    /// this is what makes an `N`-key multi-get cheaper than `N` single
+    /// [`get`](Self::get)s on the same router (one dispatch, one latency
+    /// sample, one stats pass per shard instead of per key).
+    pub fn mget(&mut self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        let stats = &self.service.stats;
+        out.clear();
+        out.resize(keys.len(), None);
+        let started = Instant::now();
+        for (position, &key) in keys.iter().enumerate() {
+            let shard = self.service.shard_of(key);
+            let group = &mut self.groups[shard];
+            if group.keys.is_empty() {
+                self.touched.push(shard);
+            }
+            group.keys.push(key);
+            group.positions.push(position as u32);
+        }
+        for &shard in &self.touched {
+            let group = &mut self.groups[shard];
+            self.handles[shard].get_batch(&group.keys, &mut self.batch_results);
+            let counters = stats.shard(shard);
+            counters.record_mget();
+            for (&position, (&key, &value)) in group
+                .positions
+                .iter()
+                .zip(group.keys.iter().zip(&self.batch_results))
+            {
+                counters.record_lookup(value.is_some());
+                let ns = stats.namespace(stats.namespace_slot(key));
+                ns.record_mget();
+                ns.record_lookup(value.is_some());
+                out[position as usize] = value;
+            }
+            group.keys.clear();
+            group.positions.clear();
+        }
+        self.touched.clear();
+        stats.batch_latency_ns.record(elapsed_ns(started));
+        stats.batch_size.record(keys.len() as u64);
+    }
+
+    /// Batched multi-put (insert-if-absent per pair): per-pair results
+    /// pushed to `out` (cleared first) in input order, `None` meaning the
+    /// pair was inserted.
+    ///
+    /// Same regrouping and amortization as [`mget`](Self::mget), through one
+    /// [`MapHandle::insert_batch`] call per shard touched.
+    pub fn mput(&mut self, pairs: &[(u64, u64)], out: &mut Vec<Option<u64>>) {
+        let stats = &self.service.stats;
+        out.clear();
+        out.resize(pairs.len(), None);
+        let started = Instant::now();
+        for (position, &(key, value)) in pairs.iter().enumerate() {
+            let shard = self.service.shard_of(key);
+            let group = &mut self.groups[shard];
+            if group.pairs.is_empty() {
+                self.touched.push(shard);
+            }
+            group.pairs.push((key, value));
+            group.positions.push(position as u32);
+        }
+        for &shard in &self.touched {
+            let group = &mut self.groups[shard];
+            self.handles[shard].insert_batch(&group.pairs, &mut self.batch_results);
+            let counters = stats.shard(shard);
+            counters.record_mput();
+            for (&position, (&(key, _), &previous)) in group
+                .positions
+                .iter()
+                .zip(group.pairs.iter().zip(&self.batch_results))
+            {
+                stats.namespace(stats.namespace_slot(key)).record_mput();
+                out[position as usize] = previous;
+            }
+            group.pairs.clear();
+            group.positions.clear();
+        }
+        self.touched.clear();
+        stats.batch_latency_ns.record(elapsed_ns(started));
+        stats.batch_size.record(pairs.len() as u64);
+    }
+
+    /// Executes one request, returning its response.
+    pub fn execute(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Get { key } => Response::Value(self.get(*key)),
+            Request::Put { key, value } => Response::Value(self.put(*key, *value)),
+            Request::Delete { key } => Response::Value(self.delete(*key)),
+            Request::Scan { lo, len } => {
+                let mut entries = Vec::new();
+                self.scan(*lo, *len, &mut entries);
+                Response::Entries(entries)
+            }
+            Request::MGet { keys } => {
+                let mut values = Vec::new();
+                self.mget(keys, &mut values);
+                Response::Values(values)
+            }
+            Request::MPut { pairs } => {
+                let mut results = Vec::new();
+                self.mput(pairs, &mut results);
+                Response::Values(results)
+            }
+        }
+    }
+
+    /// Executes a request batch in order, pushing one response per request
+    /// onto `out` (cleared first).
+    pub fn execute_batch(&mut self, requests: &[Request], out: &mut Vec<Response>) {
+        out.clear();
+        out.reserve(requests.len());
+        for request in requests {
+            out.push(self.execute(request));
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardRouter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Elapsed nanoseconds since `started`, saturated into a `u64`.
+#[inline]
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abtree::ElimABTree;
+
+    fn two_shard_service() -> KvService {
+        KvService::new(2, 1, |_| {
+            let tree: ElimABTree = ElimABTree::new();
+            Box::new(tree)
+        })
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let service = two_shard_service();
+        for key in 0..1_000u64 {
+            let shard = service.shard_of(key);
+            assert!(shard < 2);
+            assert_eq!(shard, service.shard_of(key), "routing must be stable");
+        }
+        // The multiplicative hash must actually use both shards.
+        let hits: std::collections::HashSet<_> = (0..100).map(|k| service.shard_of(k)).collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn point_ops_round_trip_across_shards() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        for key in 0..500u64 {
+            assert_eq!(router.put(key, key * 2), None);
+        }
+        for key in 0..500u64 {
+            assert_eq!(router.get(key), Some(key * 2));
+            assert_eq!(router.put(key, 999), Some(key * 2), "insert-if-absent");
+        }
+        for key in (0..500u64).step_by(2) {
+            assert_eq!(router.delete(key), Some(key * 2));
+            assert_eq!(router.get(key), None);
+        }
+        drop(router);
+        assert_eq!(
+            service.key_sum(),
+            (0..500u128).filter(|k| k % 2 == 1).sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn scan_merges_shards_in_key_order() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        for key in 0..200u64 {
+            router.put(key, key + 1);
+        }
+        let mut out = Vec::new();
+        router.scan(50, 100, &mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert_eq!(out.first(), Some(&(50, 51)));
+        assert_eq!(out.last(), Some(&(149, 150)));
+        router.scan(10, 0, &mut out);
+        assert!(out.is_empty(), "len 0 scans nothing");
+    }
+
+    #[test]
+    fn mget_matches_single_gets_in_input_order() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        for key in 0..100u64 {
+            router.put(key, key * 3);
+        }
+        let keys = [99, 0, 500, 42, 42, 7];
+        let mut batched = Vec::new();
+        router.mget(&keys, &mut batched);
+        let singles: Vec<_> = keys.iter().map(|&k| router.get(k)).collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn mput_reports_per_pair_results() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        let mut results = Vec::new();
+        router.mput(&[(1, 10), (2, 20), (1, 99)], &mut results);
+        assert_eq!(results, vec![None, None, Some(10)]);
+        assert_eq!(router.get(1), Some(10), "first writer wins");
+    }
+
+    #[test]
+    fn execute_covers_every_request_kind() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        assert_eq!(
+            router.execute(&Request::Put { key: 5, value: 50 }),
+            Response::Value(None)
+        );
+        assert_eq!(
+            router.execute(&Request::Get { key: 5 }),
+            Response::Value(Some(50))
+        );
+        assert_eq!(
+            router.execute(&Request::MPut {
+                pairs: vec![(6, 60), (7, 70)]
+            }),
+            Response::Values(vec![None, None])
+        );
+        assert_eq!(
+            router.execute(&Request::MGet { keys: vec![5, 6, 8] }),
+            Response::Values(vec![Some(50), Some(60), None])
+        );
+        assert_eq!(
+            router.execute(&Request::Scan { lo: 5, len: 3 }),
+            Response::Entries(vec![(5, 50), (6, 60), (7, 70)])
+        );
+        assert_eq!(
+            router.execute(&Request::Delete { key: 5 }),
+            Response::Value(Some(50))
+        );
+        let mut responses = Vec::new();
+        router.execute_batch(
+            &[Request::Get { key: 6 }, Request::Get { key: 5 }],
+            &mut responses,
+        );
+        assert_eq!(
+            responses,
+            vec![Response::Value(Some(60)), Response::Value(None)]
+        );
+    }
+
+    #[test]
+    fn stats_account_traffic() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        router.put(1, 1);
+        router.get(1);
+        router.get(2);
+        router.mget(&[1, 2, 3], &mut Vec::new());
+        router.delete(1);
+        let mut scan_out = Vec::new();
+        router.scan(0, 10, &mut scan_out);
+        drop(router);
+
+        let stats = service.stats();
+        let totals: u64 = stats.shards().iter().map(|s| s.total_ops()).sum();
+        assert!(totals >= 5);
+        let hits: u64 = stats.shards().iter().map(|s| s.hits()).sum();
+        let misses: u64 = stats.shards().iter().map(|s| s.misses()).sum();
+        assert_eq!(hits, 2, "get(1) and mget hit on key 1");
+        assert_eq!(misses, 3, "get(2) and mget misses on 2 and 3");
+        assert_eq!(stats.point_latency_ns.count(), 4, "put+get+get+delete");
+        assert_eq!(stats.batch_latency_ns.count(), 1);
+        assert_eq!(stats.scan_latency_ns.count(), 1);
+        assert_eq!(stats.batch_size.count(), 1);
+        assert!(stats.point_latency_ns.p50() <= stats.point_latency_ns.quantile(1.0));
+        // Every shard was scanned once by the scatter-gather scan.
+        for shard in stats.shards() {
+            assert_eq!(shard.scans(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY_KEY")]
+    fn reserved_sentinel_is_rejected_at_the_boundary() {
+        // A decoded wire frame may carry any u64; the router must refuse the
+        // engine's reserved key loudly even in release builds.
+        let service = two_shard_service();
+        let mut router = service.router();
+        router.put(abtree::EMPTY_KEY, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY_KEY")]
+    fn reserved_sentinel_is_rejected_in_batches() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        router.mget(&[1, abtree::EMPTY_KEY], &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "EMPTY_KEY")]
+    fn reserved_sentinel_is_rejected_in_scans() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        router.scan(abtree::EMPTY_KEY, 10, &mut Vec::new());
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_one() {
+        let service = KvService::new(0, 0, |_| {
+            let tree: ElimABTree = ElimABTree::new();
+            Box::new(tree)
+        });
+        assert_eq!(service.shard_count(), 1);
+        let mut router = service.router();
+        assert_eq!(router.put(1, 2), None);
+        assert_eq!(router.get(1), Some(2));
+        assert_eq!(service.shard_name(0), "elim-abtree");
+        assert!(format!("{service:?}").contains("KvService"));
+        assert!(format!("{router:?}").contains("ShardRouter"));
+    }
+}

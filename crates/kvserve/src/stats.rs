@@ -1,0 +1,419 @@
+//! Service observability: operation counters and fixed-bucket histograms.
+//!
+//! Everything here is lock-free (plain relaxed atomics) and allocation-free
+//! on the record path, so routers can update stats inline without perturbing
+//! the workload they measure.  The build environment is offline, so the
+//! latency histogram is a purpose-built fixed-bucket power-of-two histogram
+//! (the shape HdrHistogram-style recorders degrade to at low resolution)
+//! rather than an external crate: 64 buckets, bucket *i* holding values
+//! whose highest set bit is *i*, i.e. `[2^i, 2^(i+1))`.  Quantiles are
+//! resolved to the bucket upper bound, giving ~2x-resolution p50/p99 — ample
+//! for distinguishing "100ns point get" from "10µs cross-shard scan".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets (one per possible highest set bit of a
+/// `u64`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket power-of-two histogram over `u64` samples.
+///
+/// `record` is wait-free (one relaxed fetch-add); quantile queries walk the
+/// 64 buckets.  Used for latencies (nanoseconds) and batch sizes.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index holding `value`: the position of its highest set bit
+    /// (0 for values 0 and 1).
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        63 - (value | 1).leading_zeros() as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 for an empty histogram.  Resolution is the
+    /// bucket width, i.e. within 2x of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // The rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (1 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (see [`quantile`](Self::quantile) for resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (see [`quantile`](Self::quantile) for resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Zeroes every bucket.  Quiescent only: concurrent `record`s may be
+    /// lost or survive, so call it between phases (e.g. after prefill),
+    /// never under traffic.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Arithmetic mean of the recorded samples, approximated by bucket
+    /// midpoints; 0 for an empty histogram.
+    pub fn approx_mean(&self) -> f64 {
+        let mut total = 0u64;
+        let mut weighted = 0f64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                let midpoint = if i == 0 { 1.0 } else { 1.5 * (1u64 << i) as f64 };
+                weighted += n as f64 * midpoint;
+                total += n;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            weighted / total as f64
+        }
+    }
+}
+
+/// Operation counters for one shard or one namespace.
+///
+/// Batched requests bump shard-level `mgets`/`mputs` once per *sub-batch*
+/// (a multi-get spanning three shards bumps three shard-level `mgets` — the
+/// dispatch unit) and namespace-level `mgets`/`mputs` once per *key* (the
+/// tenant-billing unit).  `hits`/`misses` always count per key, so hit rate
+/// is per-key everywhere.
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    scans: AtomicU64,
+    mgets: AtomicU64,
+    mputs: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OpCounters {
+    #[inline]
+    pub(crate) fn record_get(&self, hit: bool) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.record_lookup(hit);
+    }
+
+    #[inline]
+    pub(crate) fn record_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_mget(&self) {
+        self.mgets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_mput(&self) {
+        self.mputs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Zeroes every counter (quiescent only, like [`Histogram::reset`]).
+    pub fn reset(&self) {
+        for counter in [
+            &self.gets,
+            &self.puts,
+            &self.deletes,
+            &self.scans,
+            &self.mgets,
+            &self.mputs,
+            &self.hits,
+            &self.misses,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Point lookups served.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Point insert-if-absent operations served.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Point deletes served.
+    pub fn deletes(&self) -> u64 {
+        self.deletes.load(Ordering::Relaxed)
+    }
+
+    /// Scans served (scatter-gather scans count once per shard touched).
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    /// Multi-get sub-batches served.
+    pub fn mgets(&self) -> u64 {
+        self.mgets.load(Ordering::Relaxed)
+    }
+
+    /// Multi-put sub-batches served.
+    pub fn mputs(&self) -> u64 {
+        self.mputs.load(Ordering::Relaxed)
+    }
+
+    /// Lookups (point gets plus multi-get keys) that found a value.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// All operations served (batches counted per sub-batch).
+    pub fn total_ops(&self) -> u64 {
+        self.gets() + self.puts() + self.deletes() + self.scans() + self.mgets() + self.mputs()
+    }
+
+    /// Per-key hit rate of lookups in `[0, 1]`; 0 when no lookups ran.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// All service-level statistics: per-shard counters, per-namespace counters,
+/// and the latency/batch-size histograms.
+#[derive(Debug)]
+pub struct ServiceStats {
+    shards: Vec<OpCounters>,
+    namespaces: Vec<OpCounters>,
+    /// Latency of point requests (`Get`/`Put`/`Delete`), in nanoseconds.
+    pub point_latency_ns: Histogram,
+    /// Latency of whole batched requests (`MGet`/`MPut`), in nanoseconds.
+    pub batch_latency_ns: Histogram,
+    /// Latency of scans (scatter-gather across shards), in nanoseconds.
+    pub scan_latency_ns: Histogram,
+    /// Sizes (key counts) of batched requests.
+    pub batch_size: Histogram,
+}
+
+impl ServiceStats {
+    pub(crate) fn new(shards: usize, namespaces: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| OpCounters::default()).collect(),
+            namespaces: (0..namespaces).map(|_| OpCounters::default()).collect(),
+            point_latency_ns: Histogram::new(),
+            batch_latency_ns: Histogram::new(),
+            scan_latency_ns: Histogram::new(),
+            batch_size: Histogram::new(),
+        }
+    }
+
+    /// Counters of shard `index` (panics if out of range).
+    pub fn shard(&self, index: usize) -> &OpCounters {
+        &self.shards[index]
+    }
+
+    /// Per-shard counters, in shard order.
+    pub fn shards(&self) -> &[OpCounters] {
+        &self.shards
+    }
+
+    /// Counters of the namespace-stat slot `index` (panics if out of range).
+    ///
+    /// Keys are attributed to slot `tenant % slots`, so with at least as
+    /// many slots as active tenants each tenant gets its own row.
+    pub fn namespace(&self, index: usize) -> &OpCounters {
+        &self.namespaces[index]
+    }
+
+    /// Per-namespace counters, in slot order.
+    pub fn namespaces(&self) -> &[OpCounters] {
+        &self.namespaces
+    }
+
+    /// The namespace-stat slot a packed key is attributed to.
+    #[inline]
+    pub(crate) fn namespace_slot(&self, packed_key: u64) -> usize {
+        (packed_key >> crate::namespace::LOCAL_KEY_BITS) as usize % self.namespaces.len()
+    }
+
+    /// Total operations across all shards (batches counted per sub-batch).
+    pub fn total_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_ops()).sum()
+    }
+
+    /// Zeroes every counter and histogram, so a measured phase can start
+    /// from a clean slate after prefill.  Quiescent only: call it while no
+    /// router is serving traffic.
+    pub fn reset(&self) {
+        for counters in self.shards.iter().chain(&self.namespaces) {
+            counters.reset();
+        }
+        self.point_latency_ns.reset();
+        self.batch_latency_ns.reset();
+        self.scan_latency_ns.reset();
+        self.batch_size.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        // 0 and 1 share bucket 0; 2 and 3 share bucket 1.
+        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 2);
+        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 2);
+        assert_eq!(h.buckets[63].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper bound 127
+        }
+        h.record(1 << 20); // one outlier
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), (1 << 21) - 1);
+        // True mean ~10.6k; the bucket-midpoint approximation may be off by
+        // up to the 2x bucket width.
+        let mean = h.approx_mean();
+        assert!(mean > 90.0 && mean < 22_000.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn quantile_of_max_value_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+    }
+
+    #[test]
+    fn counters_and_hit_rate() {
+        let c = OpCounters::default();
+        assert_eq!(c.hit_rate(), 0.0, "no lookups yet");
+        c.record_get(true);
+        c.record_get(true);
+        c.record_get(false);
+        c.record_put();
+        c.record_delete();
+        c.record_scan();
+        c.record_mget();
+        c.record_lookup(false);
+        c.record_mput();
+        assert_eq!(c.gets(), 3);
+        assert_eq!(c.puts(), 1);
+        assert_eq!(c.deletes(), 1);
+        assert_eq!(c.scans(), 1);
+        assert_eq!(c.mgets(), 1);
+        assert_eq!(c.mputs(), 1);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.total_ops(), 8);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let stats = ServiceStats::new(2, 2);
+        stats.shard(0).record_get(true);
+        stats.namespace(1).record_mput();
+        stats.point_latency_ns.record(100);
+        stats.batch_size.record(16);
+        stats.reset();
+        assert_eq!(stats.total_ops(), 0);
+        assert_eq!(stats.shard(0).hits(), 0);
+        assert_eq!(stats.namespace(1).mputs(), 0);
+        assert_eq!(stats.point_latency_ns.count(), 0);
+        assert_eq!(stats.batch_size.count(), 0);
+    }
+
+    #[test]
+    fn namespace_slots_wrap() {
+        let stats = ServiceStats::new(2, 4);
+        let key_t0 = 5u64;
+        let key_t6 = (6u64 << crate::namespace::LOCAL_KEY_BITS) | 5;
+        assert_eq!(stats.namespace_slot(key_t0), 0);
+        assert_eq!(stats.namespace_slot(key_t6), 2, "tenant 6 % 4 slots");
+        assert_eq!(stats.shards().len(), 2);
+        assert_eq!(stats.namespaces().len(), 4);
+    }
+}

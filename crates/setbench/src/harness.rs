@@ -110,6 +110,67 @@ struct ThreadTally {
     deleted_sum: i128,
 }
 
+/// Keys per batched multi-get/multi-put when a mix draws
+/// [`Operation::MGet`]/[`Operation::MPut`] (a batch counts as one
+/// operation, like a scan).
+pub const BATCH_OP_SIZE: usize = 8;
+
+/// Reusable buffers for batched operations drawn from an operation mix —
+/// the one copy of the "draw a [`BATCH_OP_SIZE`]-key batch and run it
+/// through the session's batch op" policy, shared by this harness and the
+/// Criterion bench helpers.
+#[derive(Default)]
+pub struct BatchScratch {
+    keys: Vec<u64>,
+    pairs: Vec<(u64, u64)>,
+    results: Vec<Option<u64>>,
+}
+
+impl BatchScratch {
+    /// Draws a [`BATCH_OP_SIZE`]-key batch (starting with `key`) and runs it
+    /// through `session.get_batch`.
+    pub fn mget<H: abtree::MapHandle + ?Sized>(
+        &mut self,
+        session: &mut H,
+        dist: &KeyDistribution,
+        key: u64,
+        rng: &mut StdRng,
+    ) {
+        self.keys.clear();
+        self.keys.push(key);
+        for _ in 1..BATCH_OP_SIZE {
+            self.keys.push(dist.sample(rng));
+        }
+        session.get_batch(&self.keys, &mut self.results);
+        std::hint::black_box(self.results.len());
+    }
+
+    /// Draws a [`BATCH_OP_SIZE`]-pair batch (starting with `key`) and runs
+    /// it through `session.insert_batch`, returning the key-sum of the pairs
+    /// actually inserted (for the checksum validation).
+    pub fn mput<H: abtree::MapHandle + ?Sized>(
+        &mut self,
+        session: &mut H,
+        dist: &KeyDistribution,
+        key: u64,
+        rng: &mut StdRng,
+    ) -> i128 {
+        self.pairs.clear();
+        self.pairs.push((key, key));
+        for _ in 1..BATCH_OP_SIZE {
+            let k = dist.sample(rng);
+            self.pairs.push((k, k));
+        }
+        session.insert_batch(&self.pairs, &mut self.results);
+        self.pairs
+            .iter()
+            .zip(&self.results)
+            .filter(|(_, prev)| prev.is_none())
+            .map(|(&(k, _), _)| k as i128)
+            .sum()
+    }
+}
+
 /// Parallel prefill to the steady-state size, tracking the key checksum of
 /// everything successfully inserted.
 fn prefill_parallel(
@@ -180,6 +241,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + 31 * t as u64));
                 let mut tally = ThreadTally::default();
                 let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+                let mut batch = BatchScratch::default();
                 while !stop.load(Ordering::Relaxed) {
                     // Batch a few operations per stop-flag check.
                     for _ in 0..64 {
@@ -203,6 +265,13 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
                                 session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                                 std::hint::black_box(scan_buf.len());
                                 tally.scan_ops += 1;
+                            }
+                            Operation::MGet => {
+                                batch.mget(&mut session, &dist, key, &mut rng);
+                            }
+                            Operation::MPut => {
+                                tally.inserted_sum +=
+                                    batch.mput(&mut session, &dist, key, &mut rng);
                             }
                         }
                         tally.ops += 1;
@@ -401,6 +470,7 @@ impl MicrobenchInstance {
                     let mut session = map.handle();
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut scan_buf: Vec<(u64, u64)> = Vec::new();
+                    let mut batch = BatchScratch::default();
                     for _ in 0..per_thread {
                         let key = dist.sample(&mut rng);
                         match mix.sample(&mut rng) {
@@ -417,6 +487,17 @@ impl MicrobenchInstance {
                                 let len = rng.gen_range(1..=max_scan_len);
                                 session.range(key, key.saturating_add(len - 1), &mut scan_buf);
                                 std::hint::black_box(scan_buf.len());
+                            }
+                            Operation::MGet => {
+                                batch.mget(&mut session, &dist, key, &mut rng);
+                            }
+                            Operation::MPut => {
+                                std::hint::black_box(batch.mput(
+                                    &mut session,
+                                    &dist,
+                                    key,
+                                    &mut rng,
+                                ));
                             }
                         }
                     }

@@ -25,7 +25,8 @@ pub use figures::{
     run_persistence_overhead_table, run_scan_figure, run_ycsb_figure, FigureParams,
 };
 pub use harness::{
-    run_microbench, run_ycsb, MicrobenchConfig, MicrobenchInstance, YcsbConfig, YcsbInstance,
+    run_microbench, run_ycsb, BatchScratch, MicrobenchConfig, MicrobenchInstance, YcsbConfig,
+    YcsbInstance, BATCH_OP_SIZE,
 };
 pub use registry::{
     descriptor, make_structure, names_in, native_scan_structures, persistent_structures,

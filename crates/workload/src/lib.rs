@@ -21,11 +21,13 @@
 
 pub mod mix;
 pub mod prefill;
+pub mod tenant;
 pub mod ycsb;
 pub mod zipf;
 
 pub use mix::{MixError, Operation, OperationMix};
 pub use prefill::{prefill, PrefillReport};
+pub use tenant::TenantKeyDistribution;
 pub use ycsb::{YcsbOp, YcsbWorkload, YcsbWorkloadKind, DEFAULT_MAX_SCAN_LEN};
 pub use zipf::KeyDistribution;
 
@@ -46,7 +48,7 @@ mod tests {
             assert!(key < 1_000);
             match mix.sample(&mut rng) {
                 Operation::Insert | Operation::Delete => updates += 1,
-                Operation::Find | Operation::Scan => {}
+                Operation::Find | Operation::Scan | Operation::MGet | Operation::MPut => {}
             }
         }
         // 50% +- a few percent.

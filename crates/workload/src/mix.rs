@@ -6,12 +6,19 @@
 //! `find` otherwise.  The prefill phase relies on inserts and deletes being
 //! equally likely so the steady-state size is half the key range.
 //!
-//! The scan subsystem adds a fourth operation kind, [`Operation::Scan`]
-//! (a range scan whose start key comes from the key distribution and whose
-//! length the harness samples separately), taking its share out of the
-//! find percentage.
+//! Two extensions widen the mix beyond the paper's three point operations:
 //!
-//! A mix is only constructible through validating constructors: the four
+//! * the scan subsystem added [`Operation::Scan`] (a range scan whose start
+//!   key comes from the key distribution and whose length the harness
+//!   samples separately);
+//! * the `kvserve` service layer added the batched [`Operation::MGet`] and
+//!   [`Operation::MPut`] (a multi-get / multi-put whose key count the driver
+//!   chooses), which model the request batching a key-value front-end
+//!   performs.
+//!
+//! Scans and batches take their shares out of the find percentage.
+//!
+//! A mix is only constructible through validating constructors: the six
 //! percentages must sum to exactly 100, otherwise [`OperationMix::sample`]
 //! would silently skew the drawn proportions.  [`OperationMix::try_new`]
 //! surfaces the violation as a [`MixError`]; the panicking constructors
@@ -30,6 +37,11 @@ pub enum Operation {
     Find,
     /// `range(key, key + len)` — a range scan starting at the drawn key.
     Scan,
+    /// `get_batch(keys)` — a batched multi-get (the driver draws the keys).
+    MGet,
+    /// `insert_batch(pairs)` — a batched multi-put (the driver draws the
+    /// pairs).
+    MPut,
 }
 
 /// Why a set of operation percentages does not form a valid mix.
@@ -43,19 +55,22 @@ pub enum MixError {
 impl std::fmt::Display for MixError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MixError::BadSum(Some(total)) => {
-                write!(f, "operation percentages must sum to 100, got {total}")
-            }
-            MixError::BadSum(None) => {
-                write!(f, "operation percentages must sum to 100, sum overflows u32")
-            }
+            MixError::BadSum(Some(total)) => write!(
+                f,
+                "insert/delete/find/scan/mget/mput percentages must sum to 100, got {total}"
+            ),
+            MixError::BadSum(None) => write!(
+                f,
+                "insert/delete/find/scan/mget/mput percentages must sum to 100, \
+                 sum overflows u32"
+            ),
         }
     }
 }
 
 impl std::error::Error for MixError {}
 
-/// A probability mix over the four operations (percentages sum to 100).
+/// A probability mix over the six operations (percentages sum to 100).
 ///
 /// The fields are private so that every constructed mix satisfies the
 /// sum-to-100 invariant that [`sample`](Self::sample) depends on.
@@ -65,37 +80,42 @@ pub struct OperationMix {
     delete_pct: u32,
     find_pct: u32,
     scan_pct: u32,
+    mget_pct: u32,
+    mput_pct: u32,
 }
 
 impl OperationMix {
-    /// Builds a mix from explicit percentages, validating that they sum to
-    /// exactly 100.
+    /// Builds a mix from explicit percentages for all six operations,
+    /// validating that they sum to exactly 100.
     pub fn try_new(
         insert_pct: u32,
         delete_pct: u32,
         find_pct: u32,
         scan_pct: u32,
+        mget_pct: u32,
+        mput_pct: u32,
     ) -> Result<Self, MixError> {
-        let total = insert_pct
-            .checked_add(delete_pct)
-            .and_then(|s| s.checked_add(find_pct))
-            .and_then(|s| s.checked_add(scan_pct));
+        let total = [delete_pct, find_pct, scan_pct, mget_pct, mput_pct]
+            .iter()
+            .try_fold(insert_pct, |sum, &pct| sum.checked_add(pct));
         match total {
             Some(100) => Ok(Self {
                 insert_pct,
                 delete_pct,
                 find_pct,
                 scan_pct,
+                mget_pct,
+                mput_pct,
             }),
             other => Err(MixError::BadSum(other)),
         }
     }
 
-    /// Builds a scan-free mix from explicit percentages; they must sum
-    /// to 100 (panics otherwise — use [`try_new`](Self::try_new) to handle
-    /// the error).
+    /// Builds a point-operation-only mix from explicit percentages; they
+    /// must sum to 100 (panics otherwise — use [`try_new`](Self::try_new) to
+    /// handle the error).
     pub fn new(insert_pct: u32, delete_pct: u32, find_pct: u32) -> Self {
-        Self::try_new(insert_pct, delete_pct, find_pct, 0)
+        Self::try_new(insert_pct, delete_pct, find_pct, 0, 0, 0)
             .expect("operation percentages must sum to 100")
     }
 
@@ -112,14 +132,38 @@ impl OperationMix {
     ///
     /// [`from_update_percent`]: Self::from_update_percent
     pub fn from_update_and_scan_percent(update_percent: u32, scan_percent: u32) -> Self {
+        Self::from_shares(update_percent, scan_percent, 0, 0)
+    }
+
+    /// Service-workload variant: `update_percent` updates split evenly
+    /// between inserts and deletes, `scan_percent` range scans,
+    /// `mget_percent` multi-gets and `mput_percent` multi-puts, the rest
+    /// finds.  Panics if the shares exceed 100.
+    pub fn from_shares(
+        update_percent: u32,
+        scan_percent: u32,
+        mget_percent: u32,
+        mput_percent: u32,
+    ) -> Self {
+        let taken = update_percent
+            .saturating_add(scan_percent)
+            .saturating_add(mget_percent)
+            .saturating_add(mput_percent);
         assert!(
-            update_percent <= 100 && scan_percent <= 100 - update_percent,
-            "update% + scan% must not exceed 100"
+            update_percent <= 100 && taken <= 100,
+            "update% + scan% + mget% + mput% must not exceed 100"
         );
         let delete = update_percent / 2;
         let insert = update_percent - delete;
-        Self::try_new(insert, delete, 100 - update_percent - scan_percent, scan_percent)
-            .expect("percentages sum to 100 by construction")
+        Self::try_new(
+            insert,
+            delete,
+            100 - taken,
+            scan_percent,
+            mget_percent,
+            mput_percent,
+        )
+        .expect("percentages sum to 100 by construction")
     }
 
     /// Percentage of inserts.
@@ -142,6 +186,16 @@ impl OperationMix {
         self.scan_pct
     }
 
+    /// Percentage of batched multi-gets.
+    pub fn mget_pct(&self) -> u32 {
+        self.mget_pct
+    }
+
+    /// Percentage of batched multi-puts.
+    pub fn mput_pct(&self) -> u32 {
+        self.mput_pct
+    }
+
     /// Total update percentage (inserts + deletes).
     pub fn update_percent(&self) -> u32 {
         self.insert_pct + self.delete_pct
@@ -151,25 +205,60 @@ impl OperationMix {
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Operation {
         let p = rng.gen_range(0..100u32);
-        if p < self.insert_pct {
-            Operation::Insert
-        } else if p < self.insert_pct + self.delete_pct {
-            Operation::Delete
-        } else if p < self.insert_pct + self.delete_pct + self.find_pct {
-            Operation::Find
-        } else {
-            Operation::Scan
+        let mut bound = self.insert_pct;
+        if p < bound {
+            return Operation::Insert;
         }
+        bound += self.delete_pct;
+        if p < bound {
+            return Operation::Delete;
+        }
+        bound += self.find_pct;
+        if p < bound {
+            return Operation::Find;
+        }
+        bound += self.scan_pct;
+        if p < bound {
+            return Operation::Scan;
+        }
+        bound += self.mget_pct;
+        if p < bound {
+            return Operation::MGet;
+        }
+        Operation::MPut
     }
 
-    /// Label such as `"u50"` (or `"u5s30"` for a scan mix) used in benchmark
-    /// output.
+    /// Label such as `"u50"` (or `"u5s30"` for a scan mix, `"u10mg20mp10"`
+    /// for a batched mix) used in benchmark output.
     pub fn label(&self) -> String {
+        let mut label = format!("u{}", self.update_percent());
         if self.scan_pct > 0 {
-            format!("u{}s{}", self.update_percent(), self.scan_pct)
-        } else {
-            format!("u{}", self.update_percent())
+            label.push_str(&format!("s{}", self.scan_pct));
         }
+        if self.mget_pct > 0 {
+            label.push_str(&format!("mg{}", self.mget_pct));
+        }
+        if self.mput_pct > 0 {
+            label.push_str(&format!("mp{}", self.mput_pct));
+        }
+        label
+    }
+}
+
+/// Lists all six operation percentages, e.g.
+/// `insert 25% / delete 25% / find 40% / scan 10% / mget 0% / mput 0%`.
+impl std::fmt::Display for OperationMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "insert {}% / delete {}% / find {}% / scan {}% / mget {}% / mput {}%",
+            self.insert_pct,
+            self.delete_pct,
+            self.find_pct,
+            self.scan_pct,
+            self.mget_pct,
+            self.mput_pct
+        )
     }
 }
 
@@ -186,6 +275,8 @@ mod tests {
         assert_eq!(m.delete_pct(), 25);
         assert_eq!(m.find_pct(), 50);
         assert_eq!(m.scan_pct(), 0);
+        assert_eq!(m.mget_pct(), 0);
+        assert_eq!(m.mput_pct(), 0);
         assert_eq!(m.update_percent(), 50);
         assert_eq!(m.label(), "u50");
     }
@@ -208,6 +299,18 @@ mod tests {
     }
 
     #[test]
+    fn batch_mix_takes_share_from_finds() {
+        let m = OperationMix::from_shares(10, 5, 20, 15);
+        assert_eq!(m.insert_pct(), 5);
+        assert_eq!(m.delete_pct(), 5);
+        assert_eq!(m.find_pct(), 50);
+        assert_eq!(m.scan_pct(), 5);
+        assert_eq!(m.mget_pct(), 20);
+        assert_eq!(m.mput_pct(), 15);
+        assert_eq!(m.label(), "u10s5mg20mp15");
+    }
+
+    #[test]
     fn extremes() {
         let all = OperationMix::from_update_percent(100);
         assert_eq!(all.find_pct(), 0);
@@ -222,26 +325,50 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(scans_only.sample(&mut rng), Operation::Scan);
         }
+        let mputs_only = OperationMix::from_shares(0, 0, 0, 100);
+        for _ in 0..100 {
+            assert_eq!(mputs_only.sample(&mut rng), Operation::MPut);
+        }
     }
 
     #[test]
     fn try_new_rejects_bad_sums() {
         assert_eq!(
-            OperationMix::try_new(50, 50, 50, 0),
+            OperationMix::try_new(50, 50, 50, 0, 0, 0),
             Err(MixError::BadSum(Some(150)))
         );
         assert_eq!(
-            OperationMix::try_new(10, 10, 10, 10),
-            Err(MixError::BadSum(Some(40)))
+            OperationMix::try_new(10, 10, 10, 10, 5, 5),
+            Err(MixError::BadSum(Some(50)))
         );
         assert_eq!(
-            OperationMix::try_new(u32::MAX, 1, 0, 0),
+            OperationMix::try_new(u32::MAX, 1, 0, 0, 0, 0),
             Err(MixError::BadSum(None)),
             "overflowing sums must be rejected, not wrapped"
         );
-        let err = OperationMix::try_new(0, 0, 0, 0).unwrap_err();
+        let err = OperationMix::try_new(0, 0, 0, 0, 0, 0).unwrap_err();
         assert!(err.to_string().contains("sum to 100"), "{err}");
-        assert!(OperationMix::try_new(25, 25, 25, 25).is_ok());
+        // The error text names every operation in the mix.
+        for op in ["insert", "delete", "find", "scan", "mget", "mput"] {
+            assert!(err.to_string().contains(op), "error omits {op}: {err}");
+        }
+        assert!(OperationMix::try_new(20, 20, 20, 20, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn display_lists_all_six_operations() {
+        let m = OperationMix::from_shares(50, 10, 5, 5);
+        let text = m.to_string();
+        for part in [
+            "insert 25%",
+            "delete 25%",
+            "find 30%",
+            "scan 10%",
+            "mget 5%",
+            "mput 5%",
+        ] {
+            assert!(text.contains(part), "Display omits `{part}`: {text}");
+        }
     }
 
     #[test]
@@ -257,21 +384,34 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "must not exceed 100")]
+    fn oversubscribed_batch_share_panics() {
+        OperationMix::from_shares(60, 20, 20, 10);
+    }
+
+    #[test]
     fn sampling_respects_proportions() {
-        let m = OperationMix::from_update_and_scan_percent(20, 10);
+        let m = OperationMix::from_shares(20, 10, 10, 10);
         let mut rng = StdRng::seed_from_u64(1);
-        let (mut ins, mut del, mut fnd, mut scn) = (0u32, 0u32, 0u32, 0u32);
+        let mut counts = [0u32; 6];
         for _ in 0..100_000 {
-            match m.sample(&mut rng) {
-                Operation::Insert => ins += 1,
-                Operation::Delete => del += 1,
-                Operation::Find => fnd += 1,
-                Operation::Scan => scn += 1,
-            }
+            let slot = match m.sample(&mut rng) {
+                Operation::Insert => 0,
+                Operation::Delete => 1,
+                Operation::Find => 2,
+                Operation::Scan => 3,
+                Operation::MGet => 4,
+                Operation::MPut => 5,
+            };
+            counts[slot] += 1;
         }
-        assert!((9_000..11_000).contains(&ins), "ins={ins}");
-        assert!((9_000..11_000).contains(&del), "del={del}");
-        assert!((68_000..72_000).contains(&fnd), "fnd={fnd}");
-        assert!((9_000..11_000).contains(&scn), "scn={scn}");
+        let expected = [10, 10, 50, 10, 10, 10];
+        for (i, (&got, want_pct)) in counts.iter().zip(expected).enumerate() {
+            let want = want_pct * 1_000;
+            assert!(
+                (want * 9 / 10..=want * 11 / 10).contains(&got),
+                "op {i}: got {got}, want ~{want}"
+            );
+        }
     }
 }

@@ -189,11 +189,13 @@ fn workload_generators_drive_real_structures() {
     use rand::prelude::*;
     let tree: ElimABTree = ElimABTree::new();
     let mut tree = tree.handle();
+    use elim_abtree_repro::abtree::MapHandle as _;
     let dist = KeyDistribution::zipfian(10_000, 1.0);
-    let mix = OperationMix::from_update_and_scan_percent(50, 10);
+    let mix = OperationMix::from_shares(50, 10, 5, 5);
     let mut rng = StdRng::seed_from_u64(0);
     let mut scan_buf = Vec::new();
-    let mut scans = 0u32;
+    let mut batch_results = Vec::new();
+    let (mut scans, mut batches) = (0u32, 0u32);
     for _ in 0..50_000 {
         let k = dist.sample(&mut rng);
         match mix.sample(&mut rng) {
@@ -211,8 +213,21 @@ fn workload_generators_drive_real_structures() {
                 assert!(scan_buf.windows(2).all(|w| w[0].0 < w[1].0));
                 scans += 1;
             }
+            elim_abtree_repro::workload::Operation::MGet => {
+                let keys = [k, k + 1, k + 2, k + 3];
+                tree.get_batch(&keys, &mut batch_results);
+                assert_eq!(batch_results.len(), keys.len());
+                batches += 1;
+            }
+            elim_abtree_repro::workload::Operation::MPut => {
+                let pairs = [(k, k), (k + 1, k + 1)];
+                tree.insert_batch(&pairs, &mut batch_results);
+                assert_eq!(batch_results.len(), pairs.len());
+                batches += 1;
+            }
         }
     }
     assert!(scans > 0, "the scan share of the mix must be exercised");
+    assert!(batches > 0, "the batch share of the mix must be exercised");
     tree.check_invariants().unwrap();
 }
