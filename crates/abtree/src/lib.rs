@@ -75,6 +75,7 @@
 pub mod crashsim;
 pub mod handle;
 pub(crate) mod node;
+pub mod par;
 pub mod persist;
 pub mod rebalance;
 pub mod scan;
@@ -247,6 +248,23 @@ pub fn fallback_range(
             out.push((key, value));
         }
     }
+}
+
+/// The one copy of the engine's scan-window rule: the inclusive window
+/// `[lo, hi]` covered by a length-shaped scan request (`lo`, `len`), with
+/// the upper bound saturated and clamped below the reserved [`EMPTY_KEY`]
+/// sentinel.  `None` for a zero-length request (scan nothing).
+///
+/// Every layer that converts `(lo, len)` into bounds — the service layer's
+/// scatter-gather scan, the conctest recorder and fuzzer — must call this,
+/// so a future change to the rule (or to the sentinel) cannot desynchronize
+/// what was *requested* from what a recorder *logs* as scanned.
+#[inline]
+pub fn scan_window(lo: u64, len: u64) -> Option<(u64, u64)> {
+    if len == 0 {
+        return None;
+    }
+    Some((lo, lo.saturating_add(len - 1).min(EMPTY_KEY - 1)))
 }
 
 /// The shared, thread-safe side of a concurrent ordered dictionary: a

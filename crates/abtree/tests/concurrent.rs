@@ -13,10 +13,7 @@ use absync::RawNodeLock;
 use rand::prelude::*;
 
 fn thread_count() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4)
-        .max(2)
+    abtree::par::test_parallelism().clamp(2, 8)
 }
 
 /// Runs a mixed insert/delete/find workload and validates the key-sum
@@ -209,8 +206,8 @@ fn concurrent_readers_never_see_phantoms() {
 /// machines like the other contention tests.
 #[test]
 fn scans_racing_inserters_observe_only_linearizable_snapshots() {
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
-        eprintln!("skipping scan race test: needs >= 2 hardware threads");
+    if abtree::par::test_parallelism() < 2 {
+        eprintln!("skipping scan race test: needs >= 2 hardware threads (or AB_FORCE_PARALLEL=1)");
         return;
     }
     const WRITERS: u64 = 3;

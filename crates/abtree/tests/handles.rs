@@ -156,8 +156,8 @@ fn handle_outlives_a_completed_run() {
 /// pin/unpin protocol, so it is gated like the other contention tests).
 #[test]
 fn n_threads_one_handle_each_stress_keysum() {
-    if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
-        eprintln!("skipping n_threads_one_handle_each_stress_keysum: needs >1 hardware thread");
+    if abtree::par::test_parallelism() < 2 {
+        eprintln!("skipping n_threads_one_handle_each_stress_keysum: needs >1 hardware thread (or AB_FORCE_PARALLEL=1)");
         return;
     }
     const THREADS: u64 = 8;

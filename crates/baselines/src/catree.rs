@@ -325,7 +325,11 @@ mod tests {
         // always free when sampled (a preemption adds one contended event
         // per scheduling quantum while thousands of uncontended operations
         // each subtract one), so a CA tree correctly never splits there.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        // Detected parallelism only — AB_FORCE_PARALLEL deliberately does
+        // not apply: without true parallelism the tree correctly never
+        // splits, so forcing the test on would make it fail for the right
+        // behavior.
+        if abtree::par::detected_parallelism() < 2 {
             eprintln!("skipping contention_causes_splits: needs >1 hardware thread");
             return;
         }

@@ -1,0 +1,233 @@
+//! `conctest` driver: sweeps the differential fuzzer and the concurrent
+//! linearizability checker over every registry structure, plus the kvserve
+//! service layer, from one seeded configuration.
+//!
+//! ```text
+//! conctest [--smoke] [--seed N] [--structure NAME] [--threads N]
+//!          [--ops N] [--rounds N]
+//! ```
+//!
+//! Per structure, two passes run:
+//!
+//! * `diff` — the deterministic differential mode: a seeded interleaved
+//!   schedule replayed against the structure and a locked `BTreeMap`
+//!   oracle (logical threads, one OS thread);
+//! * `conc` — the concurrent recorded mode: OS threads under recorders,
+//!   every round's history checked for linearizability (snapshot-scan
+//!   semantics exactly for the registry's `Snapshot` structures).
+//!
+//! Then the same two passes run over kvserve services (tenant-skewed keys,
+//! batched ops) for a sample of shard counts and structures.
+//!
+//! Any failure prints the shrunk reproducer, writes it to the artifact
+//! directory (`CONCTEST_ARTIFACT_DIR`, default `target/conctest/`) for CI
+//! upload, and exits non-zero.  `--smoke` is the CI-sized run with a fixed
+//! default seed, so the sweep is deterministic in the deterministic mode
+//! and reproducibly seeded in the concurrent one.
+
+use conctest::{
+    differential_fuzz, differential_kvserve, fuzz_concurrent, fuzz_kvserve_concurrent,
+    write_artifact, CheckConfig, FuzzConfig,
+};
+use setbench::registry::{self, ScanSupport};
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+}
+
+struct Cell {
+    target: String,
+    mode: &'static str,
+    detail: String,
+    failed: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = flag_value(&args, "--seed").unwrap_or(0x5EED_C0C7);
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--structure")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let threads = flag_value(&args, "--threads").unwrap_or(if smoke { 2 } else { 3 }) as u32;
+    let ops = flag_value(&args, "--ops").unwrap_or(if smoke { 150 } else { 400 }) as u32;
+    let rounds = flag_value(&args, "--rounds").unwrap_or(if smoke { 2 } else { 5 }) as u32;
+
+    let cfg = FuzzConfig {
+        seed,
+        threads,
+        ops_per_thread: ops,
+        ..FuzzConfig::default()
+    };
+    println!(
+        "conctest sweep: seed {seed:#x}, {threads} threads x {ops} ops, {rounds} concurrent \
+         rounds{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!("{:<28} {:>5} {:>34}", "target", "mode", "result");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut fail_text: Option<String> = None;
+
+    // Registry structures.
+    for descriptor in registry::STRUCTURES {
+        if only.as_deref().is_some_and(|o| o != descriptor.name) {
+            continue;
+        }
+        let diff = match differential_fuzz(&descriptor.factory, &cfg) {
+            Ok(total) => Cell {
+                target: descriptor.name.into(),
+                mode: "diff",
+                detail: format!("ok ({total} ops vs oracle)"),
+                failed: false,
+            },
+            Err(failure) => {
+                fail_text.get_or_insert_with(|| {
+                    format!("[{} diff]\n{}", descriptor.name, failure.render())
+                });
+                Cell {
+                    target: descriptor.name.into(),
+                    mode: "diff",
+                    detail: format!("FAIL ({} op reproducer)", failure.minimal.len()),
+                    failed: true,
+                }
+            }
+        };
+        cells.push(diff);
+
+        let check_cfg = if descriptor.scan == ScanSupport::Snapshot {
+            CheckConfig::with_snapshot_scans()
+        } else {
+            CheckConfig::default()
+        };
+        let conc = match fuzz_concurrent(&descriptor.factory, &cfg, &check_cfg, rounds) {
+            Ok(report) => Cell {
+                target: descriptor.name.into(),
+                mode: "conc",
+                detail: format!(
+                    "ok ({} events, {} rounds{})",
+                    report.events,
+                    report.rounds,
+                    if report.bounded_rounds > 0 {
+                        format!(", {} bounded", report.bounded_rounds)
+                    } else {
+                        String::new()
+                    }
+                ),
+                failed: false,
+            },
+            Err(failure) => {
+                fail_text.get_or_insert_with(|| {
+                    format!("[{} conc]\n{}", descriptor.name, failure.render(&cfg))
+                });
+                Cell {
+                    target: descriptor.name.into(),
+                    mode: "conc",
+                    detail: format!("FAIL ({} event reproducer)", failure.minimal.ops.len()),
+                    failed: true,
+                }
+            }
+        };
+        cells.push(conc);
+    }
+
+    // kvserve services: tenant-skewed traffic over sharded registry
+    // structures; scans are scatter-gather, so per-key semantics.
+    let tenants = (4u16, 1.0);
+    let service_cells: &[(&'static str, usize)] = if smoke {
+        &[("elim-abtree", 3)]
+    } else {
+        &[("elim-abtree", 1), ("elim-abtree", 3), ("skiplist-lazy", 3)]
+    };
+    for &(structure, shards) in service_cells {
+        if only.as_deref().is_some_and(|o| o != structure) {
+            continue;
+        }
+        let target = format!("kvserve/{structure}x{shards}");
+        let diff = match differential_kvserve(structure, shards, tenants, &cfg) {
+            Ok(total) => Cell {
+                target: target.clone(),
+                mode: "diff",
+                detail: format!("ok ({total} ops vs oracle)"),
+                failed: false,
+            },
+            Err(failure) => {
+                fail_text
+                    .get_or_insert_with(|| format!("[{target} diff]\n{}", failure.render()));
+                Cell {
+                    target: target.clone(),
+                    mode: "diff",
+                    detail: format!("FAIL ({} op reproducer)", failure.minimal.len()),
+                    failed: true,
+                }
+            }
+        };
+        cells.push(diff);
+        let conc = match fuzz_kvserve_concurrent(
+            structure,
+            shards,
+            tenants,
+            &cfg,
+            &CheckConfig::default(),
+            rounds,
+        ) {
+            Ok(report) => Cell {
+                target: target.clone(),
+                mode: "conc",
+                detail: format!(
+                    "ok ({} events, {} rounds{})",
+                    report.events,
+                    report.rounds,
+                    if report.bounded_rounds > 0 {
+                        format!(", {} bounded", report.bounded_rounds)
+                    } else {
+                        String::new()
+                    }
+                ),
+                failed: false,
+            },
+            Err(failure) => {
+                fail_text
+                    .get_or_insert_with(|| format!("[{target} conc]\n{}", failure.render(&cfg)));
+                Cell {
+                    target,
+                    mode: "conc",
+                    detail: format!("FAIL ({} event reproducer)", failure.minimal.ops.len()),
+                    failed: true,
+                }
+            }
+        };
+        cells.push(conc);
+    }
+
+    let mut any_failed = false;
+    for cell in &cells {
+        println!("{:<28} {:>5} {:>34}", cell.target, cell.mode, cell.detail);
+        any_failed |= cell.failed;
+    }
+    if cells.is_empty() {
+        eprintln!("no targets matched {only:?}");
+        std::process::exit(2);
+    }
+    if any_failed {
+        let text = fail_text.expect("a failed cell recorded its reproducer");
+        let path = write_artifact("shrunk-history.txt", &text);
+        eprintln!("\n{text}\nreproducer written to {}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "all {} cells clean: every history linearizable, every replay matched the oracle",
+        cells.len()
+    );
+}

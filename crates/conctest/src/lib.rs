@@ -1,0 +1,85 @@
+//! `conctest`: linearizability checking and differential stress testing for
+//! every structure in the registry, and for the `kvserve` service layer.
+//!
+//! The paper's claims are about *correct concurrent behavior under
+//! contention* — elimination linearizes same-key operations against leaf
+//! records, rebalancing marks before unlinking, scans validate leaf
+//! versions.  The rest of the test suite spot-checks invariants (key sums,
+//! structural validity); this crate checks the actual contract: **recorded
+//! concurrent histories must be linearizable**.
+//!
+//! Three layers, each usable on its own:
+//!
+//! 1. **Recording** ([`history`]): wrap any per-thread session
+//!    ([`Recorder`] over a [`abtree::MapHandle`], [`RouterRecorder`] over a
+//!    kvserve `ShardRouter`) and get a timestamped invoke/response event
+//!    log.
+//! 2. **Checking** ([`checker`]): a Wing–Gong-style linearizability search
+//!    over the recorded history — per-key partitioned, with a sequential
+//!    fast path, a provenance pre-pass for crisp common-case messages, an
+//!    atomic-snapshot scan model for the structures that promise one
+//!    (`ScanSupport::Snapshot` in the registry), and a search budget so
+//!    pathological histories return [`Outcome::Bounded`] instead of
+//!    hanging.
+//! 3. **Fuzzing + shrinking** ([`fuzz`], [`shrink`]): seeded
+//!    [`workload::OperationMix`] streams (Zipf and tenant skew, YCSB-E
+//!    style scans, batches) replayed deterministically against a locked
+//!    `BTreeMap` oracle, and concurrently under the checker; failures
+//!    shrink ddmin-style to a minimal reproducer — a seed plus a schedule,
+//!    or a minimal event history.
+//!
+//! The `conctest` binary sweeps all of this over every registry structure
+//! (`--smoke` for the CI-sized run).  The harness proves it can catch real
+//! bugs by mutation: with `--features torn-scan`, an intentionally broken
+//! wrapper whose scans read the window in two halves must be flagged by the
+//! checker (`tests/mutation.rs`).
+//!
+//! Environment knobs: `AB_FORCE_PARALLEL` (see [`abtree::par`]) opens the
+//! parallelism-gated tests on single-CPU machines; `CONCTEST_ARTIFACT_DIR`
+//! redirects where failing reproducers are written (default
+//! `target/conctest/`).
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod fuzz;
+pub mod history;
+#[cfg(feature = "torn-scan")]
+pub mod mutant;
+pub mod shrink;
+
+pub use checker::{check, CheckConfig, Outcome, ViolationReport};
+pub use fuzz::{
+    differential_fuzz, differential_kvserve, fuzz_concurrent, fuzz_kvserve_concurrent,
+    record_concurrent, ConcFailure, ConcReport, DiffFailure, FuzzConfig, ScheduledOp, SpecOp,
+};
+pub use history::{Clock, History, OpKind, OpRecord, OpResult, Recorder, RouterRecorder};
+#[cfg(feature = "torn-scan")]
+pub use mutant::TornScan;
+pub use shrink::{shrink_history, shrink_history_from, shrink_schedule};
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory failing reproducers are written to: `$CONCTEST_ARTIFACT_DIR`,
+/// or `target/conctest/` relative to the working directory.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os("CONCTEST_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/conctest"))
+}
+
+/// Writes a reproducer to `<artifact_dir>/<name>` (best effort: IO errors
+/// are reported to stderr, not panicked on, so artifact writing can never
+/// mask the real failure) and returns the path it tried.
+pub fn write_artifact(name: &str, contents: &str) -> PathBuf {
+    let dir = artifact_dir();
+    let path = dir.join(name);
+    let result = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::File::create(&path))
+        .and_then(|mut file| file.write_all(contents.as_bytes()));
+    if let Err(error) = result {
+        eprintln!("conctest: could not write artifact {}: {error}", path.display());
+    }
+    path
+}

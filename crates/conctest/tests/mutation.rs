@@ -1,0 +1,157 @@
+//! Mutation detection: the harness must flag the intentionally broken
+//! `TornScan` wrapper (feature `torn-scan`), or it is testing nothing.
+//!
+//! The torn window opens between the mutant's two half-window reads, so a
+//! writer that is never "in" an impossible state — it cycles key `a`
+//! present / nothing / key `b` present, with `a` in the low half and `b` in
+//! the high half — exposes the tear: a scan observing `a` *and* `b`
+//! together saw a state that never existed, which only the joint
+//! snapshot-scan check can reject.  The mutant sleeps in its gap and the
+//! writer paces itself with short sleeps, so the interleaving happens even
+//! on a single hardware thread (no parallelism gate needed) and each
+//! round's history stays small enough for the checker's search.
+#![cfg(feature = "torn-scan")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use abtree::{ConcurrentMap, ElimABTree, MapHandle};
+use conctest::{
+    check, shrink_history, CheckConfig, Clock, History, Outcome, Recorder, TornScan,
+};
+
+/// Low and high halves of the scanned window `[0, 3]`.
+const A: u64 = 1;
+const B: u64 = 2;
+
+/// One recorded round of `scans` torn-window scans against a paced
+/// flip-flop writer (at most `writer_ops` operations).
+fn record_round(map: &dyn ConcurrentMap, scans: u32, writer_ops: u32) -> History {
+    let clock = Clock::new();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = {
+            let clock = std::sync::Arc::clone(&clock);
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rec = Recorder::new(map.handle(), 0, clock);
+                let mut value = 0u64;
+                for i in 0..writer_ops {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // One step of the {A} -> {} -> {B} -> {} cycle per
+                    // iteration, paced so the cycle advances a few steps
+                    // inside each torn-scan gap rather than burning through
+                    // the op budget in one scheduling quantum.
+                    match i % 4 {
+                        0 => {
+                            value += 1;
+                            rec.insert(A, value);
+                        }
+                        1 => {
+                            rec.delete(A);
+                        }
+                        2 => {
+                            value += 1;
+                            rec.insert(B, value);
+                        }
+                        _ => {
+                            rec.delete(B);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_micros(25));
+                }
+                rec.finish()
+            })
+        };
+        let scanner = {
+            let clock = std::sync::Arc::clone(&clock);
+            scope.spawn(move || {
+                let mut rec = Recorder::new(map.handle(), 1, clock);
+                let mut out = Vec::new();
+                for _ in 0..scans {
+                    rec.range(0, 3, &mut out);
+                }
+                rec.finish()
+            })
+        };
+        let scan_log = scanner.join().expect("scanner panicked");
+        stop.store(true, Ordering::Relaxed);
+        let write_log = writer.join().expect("writer panicked");
+        History::merge(vec![write_log, scan_log])
+    })
+}
+
+/// Runs rounds until the checker flags one (or the round budget runs out).
+fn hunt_tear(rounds: u32) -> Option<History> {
+    for _ in 0..rounds {
+        let torn = TornScan::new(ElimABTree::new() as ElimABTree);
+        let history = record_round(&torn, 40, 600);
+        // The mutant wraps a Snapshot-scan structure, so joint atomicity is
+        // the contract being checked.
+        if check(&history, &CheckConfig::with_snapshot_scans()).is_violation() {
+            return Some(history);
+        }
+    }
+    None
+}
+
+#[test]
+fn torn_scan_mutant_is_flagged_and_shrinks() {
+    let history = hunt_tear(50).expect(
+        "the torn-scan mutant survived every round: the checker cannot \
+         detect non-atomic scans",
+    );
+
+    // Shrink to a minimal reproducer and make sure it still violates; the
+    // minimal history needs only a handful of events (one torn scan plus
+    // the writer ops proving the observed combination never existed).
+    let config = CheckConfig::with_snapshot_scans();
+    let minimal = shrink_history(&history, &config);
+    let outcome = check(&minimal, &config);
+
+    // Write the reproducer *before* asserting over it, so a failing
+    // assertion below still leaves the artifact for CI to upload.
+    let artifact = format!(
+        "torn-scan mutation caught ({} events, shrunk from {}): {}\nminimal history:\n{}",
+        minimal.ops.len(),
+        history.ops.len(),
+        match &outcome {
+            Outcome::Violation(report) => report.to_string(),
+            other => format!("shrunk outcome unexpectedly {other:?}"),
+        },
+        minimal.render()
+    );
+    conctest::write_artifact("torn-scan-caught.txt", &artifact);
+    println!("{artifact}");
+
+    assert!(outcome.is_violation(), "shrunk history must still violate");
+    assert!(
+        minimal.ops.len() < history.ops.len(),
+        "shrinking removed nothing ({} events)",
+        history.ops.len()
+    );
+    assert!(
+        minimal.ops.len() <= 10,
+        "expected a tight reproducer, got {} events:\n{}",
+        minimal.ops.len(),
+        minimal.render()
+    );
+}
+
+/// Negative control: the identical hunt over the *unbroken* structure must
+/// stay clean — otherwise the detection above could be a checker false
+/// positive rather than a caught mutation.
+#[test]
+fn unbroken_structure_survives_the_same_hunt() {
+    for _ in 0..8 {
+        let tree: ElimABTree = ElimABTree::new();
+        let history = record_round(&tree, 40, 300);
+        let outcome = check(&history, &CheckConfig::with_snapshot_scans());
+        assert!(
+            !outcome.is_violation(),
+            "false positive on the correct structure: {outcome:?}"
+        );
+    }
+}

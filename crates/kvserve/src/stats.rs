@@ -58,32 +58,44 @@ impl Histogram {
     }
 
     /// The upper bound of the bucket containing the `q`-quantile sample
-    /// (`q` in `[0, 1]`), or 0 for an empty histogram.  Resolution is the
-    /// bucket width, i.e. within 2x of the true quantile.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// (`q` in `[0, 1]`), or `None` for an empty histogram.  Resolution is
+    /// the bucket width, i.e. within 2x of the true quantile.
+    ///
+    /// An empty histogram has no quantiles: returning any in-band number
+    /// (this function used to return 0, a value inside bucket 0) lets "no
+    /// traffic" masquerade as "sub-nanosecond latency" in reports.  Samples
+    /// that land in the top bucket resolve to `Some(u64::MAX)`, a *saturated*
+    /// reading meaning "at least 2^63" — distinguishable from the empty case.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
         if total == 0 {
-            return 0;
+            return None;
         }
-        // The rank of the requested quantile, 1-based, clamped into range.
+        // The rank of the requested quantile, 1-based, clamped into range
+        // (also forgiving of q outside [0, 1] and NaN, which clamp to the
+        // extremes).
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (1 << (i + 1)) - 1 };
+                return Some(if i >= 63 { u64::MAX } else { (1 << (i + 1)) - 1 });
             }
         }
-        u64::MAX
+        // Unreachable when counts are stable; concurrent `record`s between
+        // the `count` above and the walk can only increase `seen`.
+        Some(u64::MAX)
     }
 
-    /// Median (see [`quantile`](Self::quantile) for resolution).
-    pub fn p50(&self) -> u64 {
+    /// Median, or `None` when no samples were recorded (see
+    /// [`quantile`](Self::quantile) for resolution and saturation).
+    pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)
     }
 
-    /// 99th percentile (see [`quantile`](Self::quantile) for resolution).
-    pub fn p99(&self) -> u64 {
+    /// 99th percentile, or `None` when no samples were recorded (see
+    /// [`quantile`](Self::quantile) for resolution and saturation).
+    pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
 
@@ -345,14 +357,13 @@ mod tests {
     #[test]
     fn quantiles_resolve_to_bucket_bounds() {
         let h = Histogram::new();
-        assert_eq!(h.p50(), 0, "empty histogram");
         for _ in 0..99 {
             h.record(100); // bucket 6, upper bound 127
         }
         h.record(1 << 20); // one outlier
-        assert_eq!(h.p50(), 127);
-        assert_eq!(h.p99(), 127);
-        assert_eq!(h.quantile(1.0), (1 << 21) - 1);
+        assert_eq!(h.p50(), Some(127));
+        assert_eq!(h.p99(), Some(127));
+        assert_eq!(h.quantile(1.0), Some((1 << 21) - 1));
         // True mean ~10.6k; the bucket-midpoint approximation may be off by
         // up to the 2x bucket width.
         let mean = h.approx_mean();
@@ -360,10 +371,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q = {q}");
+        }
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        // A single bucket-0 sample is `Some` — the empty sentinel must not
+        // be confusable with a real (tiny) quantile.
+        h.record(0);
+        assert_eq!(h.p50(), Some(1));
+        assert_ne!(h.p50(), None);
+        // ... and reset returns the histogram to the no-quantiles state.
+        h.reset();
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
     fn quantile_of_max_value_saturates() {
         let h = Histogram::new();
         h.record(u64::MAX);
-        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.p50(), Some(u64::MAX), "saturated, not None");
+        // Out-of-range and NaN quantiles clamp instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(u64::MAX));
+        assert_eq!(h.quantile(42.0), Some(u64::MAX));
+        assert_eq!(h.quantile(f64::NAN), Some(u64::MAX));
     }
 
     #[test]

@@ -138,3 +138,162 @@ fn trailing_bytes_never_decode() {
         }
     }
 }
+
+/// One frame containing all six request kinds — the densest shape the wire
+/// sees — used by the exhaustive error-path tests below.
+fn every_kind_frame() -> (Vec<Request>, Vec<u8>) {
+    let requests = vec![
+        Request::Get { key: 7 },
+        Request::Put { key: 300, value: u64::MAX },
+        Request::Delete { key: 0 },
+        Request::Scan { lo: 1 << 40, len: 100 },
+        Request::MGet { keys: vec![1, 128, 1 << 50] },
+        Request::MPut { pairs: vec![(5, 50), (1 << 33, 60)] },
+    ];
+    let mut wire = Vec::new();
+    encode_batch(&requests, &mut wire);
+    (requests, wire)
+}
+
+/// Truncation at *every* byte offset of a multi-request frame must fail —
+/// not just the sampled cut points of the randomized test above.  Every cut
+/// lands either inside a varint, after a tag, inside a batch, or before the
+/// declared count is satisfied; all of them are `Truncated` (the only error
+/// a pure prefix can produce, since every prefix of valid data is valid
+/// until the input runs out).
+#[test]
+fn every_byte_offset_of_a_multi_request_frame_truncates() {
+    let (requests, wire) = every_kind_frame();
+    assert!(requests.len() >= 6);
+    for cut in 0..wire.len() {
+        assert_eq!(
+            decode_batch(&wire[..cut]),
+            Err(CodecError::Truncated),
+            "cut at {cut}/{} bytes",
+            wire.len()
+        );
+    }
+    // The untruncated frame still round-trips.
+    assert_eq!(decode_batch(&wire).unwrap(), requests);
+}
+
+/// Oversized length prefixes must be rejected up front in every position
+/// that carries one: the batch count, a multi-get key count, a multi-put
+/// pair count, and a scan window length.
+#[test]
+fn oversized_length_prefixes_are_rejected_everywhere() {
+    use kvserve::codec::{write_varint, MAX_DECODED_LEN};
+    let hostile = MAX_DECODED_LEN + 1;
+
+    // Batch count.
+    let mut frame = Vec::new();
+    write_varint(&mut frame, hostile);
+    assert_eq!(decode_batch(&frame), Err(CodecError::TooLong(hostile)));
+
+    // MGet key count (tag 0x05).
+    let mut frame = Vec::new();
+    write_varint(&mut frame, 1);
+    frame.push(0x05);
+    write_varint(&mut frame, hostile);
+    assert_eq!(decode_batch(&frame), Err(CodecError::TooLong(hostile)));
+
+    // MPut pair count (tag 0x06).
+    let mut frame = Vec::new();
+    write_varint(&mut frame, 1);
+    frame.push(0x06);
+    write_varint(&mut frame, hostile);
+    assert_eq!(decode_batch(&frame), Err(CodecError::TooLong(hostile)));
+
+    // Scan window length (tag 0x04): bounds the work a shard does *and* the
+    // size of the Entries response, so it shares the cap.
+    let mut frame = Vec::new();
+    write_varint(&mut frame, 1);
+    frame.push(0x04);
+    write_varint(&mut frame, 3); // lo
+    write_varint(&mut frame, hostile);
+    assert_eq!(decode_batch(&frame), Err(CodecError::TooLong(hostile)));
+
+    // Response-side Values / Entries counts.
+    for tag in [0x82u8, 0x83] {
+        let mut frame = Vec::new();
+        write_varint(&mut frame, 1);
+        frame.push(tag);
+        write_varint(&mut frame, hostile);
+        assert_eq!(
+            decode_response_batch(&frame),
+            Err(CodecError::TooLong(hostile)),
+            "response tag 0x{tag:02x}"
+        );
+    }
+
+    // At the cap itself the prefix is accepted (and then truncates, since
+    // no elements follow) — the cap is inclusive.
+    let mut frame = Vec::new();
+    write_varint(&mut frame, 1);
+    frame.push(0x05);
+    write_varint(&mut frame, kvserve::codec::MAX_DECODED_LEN);
+    assert_eq!(decode_batch(&frame), Err(CodecError::Truncated));
+}
+
+/// The reserved `EMPTY_KEY` sentinel must be rejected in *every* key
+/// position a request can carry, not only `Get` (which the unit tests
+/// cover): `Put`, `Delete`, a `Scan`'s window start, and inside `MGet` /
+/// `MPut` batches — including after valid leading keys.
+#[test]
+fn reserved_key_is_rejected_in_every_key_position() {
+    use kvserve::codec::write_varint;
+    let sentinel = u64::MAX;
+
+    let frame_with = |build: &dyn Fn(&mut Vec<u8>)| {
+        let mut frame = Vec::new();
+        write_varint(&mut frame, 1);
+        build(&mut frame);
+        frame
+    };
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("Put", frame_with(&|f| {
+            f.push(0x02);
+            write_varint(f, sentinel);
+            write_varint(f, 1);
+        })),
+        ("Delete", frame_with(&|f| {
+            f.push(0x03);
+            write_varint(f, sentinel);
+        })),
+        ("Scan lo", frame_with(&|f| {
+            f.push(0x04);
+            write_varint(f, sentinel);
+            write_varint(f, 10);
+        })),
+        ("MGet key after valid keys", frame_with(&|f| {
+            f.push(0x05);
+            write_varint(f, 3);
+            write_varint(f, 1);
+            write_varint(f, 2);
+            write_varint(f, sentinel);
+        })),
+        ("MPut pair key", frame_with(&|f| {
+            f.push(0x06);
+            write_varint(f, 2);
+            write_varint(f, 1);
+            write_varint(f, 10);
+            write_varint(f, sentinel);
+            write_varint(f, 20);
+        })),
+    ];
+    for (position, frame) in cases {
+        assert_eq!(
+            decode_batch(&frame),
+            Err(CodecError::ReservedKey),
+            "{position}"
+        );
+    }
+
+    // Values are *not* key positions: u64::MAX round-trips as a Put value
+    // and inside responses.
+    let ok = vec![Request::Put { key: 3, value: u64::MAX }];
+    let mut wire = Vec::new();
+    encode_batch(&ok, &mut wire);
+    assert_eq!(decode_batch(&wire).unwrap(), ok);
+}

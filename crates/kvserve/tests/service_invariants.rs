@@ -24,9 +24,12 @@ fn elim_service(shards: usize, namespaces: usize) -> KvService {
 /// machines (the sequential oracle test below covers the semantics there).
 #[test]
 fn cross_shard_key_sum_survives_concurrent_batched_updates() {
-    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallelism = abtree::par::test_parallelism();
     if parallelism < 2 {
-        eprintln!("skipping cross-shard concurrency test: needs >1 hardware thread");
+        eprintln!(
+            "skipping cross-shard concurrency test: needs >1 hardware thread \
+             (or AB_FORCE_PARALLEL=1)"
+        );
         return;
     }
     let threads = parallelism.clamp(2, 8);
@@ -198,6 +201,6 @@ fn wire_round_trip_through_execution() {
     // tenant's namespace row billed the keys.
     let stats = service.stats();
     assert!(stats.batch_size.count() >= 2);
-    assert!(stats.batch_size.p50() >= 2);
+    assert!(stats.batch_size.p50().expect("batches were recorded") >= 2);
     assert_eq!(stats.namespace(3).mputs(), 10);
 }

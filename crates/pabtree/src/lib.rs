@@ -235,7 +235,11 @@ mod tests {
         // requires true parallelism: on a single hardware thread operations
         // only overlap at preemption boundaries (every few ms), far too
         // rarely to clear the assertion threshold.
-        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+        // Detected parallelism only — AB_FORCE_PARALLEL deliberately does
+        // not apply: preemption-boundary overlap is far too rare to clear
+        // the elimination-rate threshold, so forcing the test on a single
+        // hardware thread would fail against correct behavior.
+        if abtree::par::detected_parallelism() < 2 {
             eprintln!("skipping elimination_fires_and_skips_flushes_under_same_key_churn: needs >1 hardware thread");
             return;
         }

@@ -263,14 +263,20 @@ fn emit_cell_row(structure: &str, shards: usize, threads: usize, r: &CellResult,
         r.secs,
         r.requests as f64 / r.secs / 1e6,
         r.keys as f64 / r.secs / 1e6,
-        stats.point_latency_ns.p50(),
-        stats.point_latency_ns.p99(),
-        stats.batch_latency_ns.p50(),
-        stats.batch_latency_ns.p99(),
-        stats.scan_latency_ns.p99(),
+        json_quantile(stats.point_latency_ns.p50()),
+        json_quantile(stats.point_latency_ns.p99()),
+        json_quantile(stats.batch_latency_ns.p50()),
+        json_quantile(stats.batch_latency_ns.p99()),
+        json_quantile(stats.scan_latency_ns.p99()),
         mean_batch,
         r.validated,
     );
+}
+
+/// An empty histogram has no quantile: emit JSON `null`, not an in-band 0 a
+/// regression comparison would read as sub-bucket latency.
+fn json_quantile(q: Option<u64>) -> String {
+    q.map_or_else(|| "null".to_string(), |ns| ns.to_string())
 }
 
 fn main() {
@@ -323,8 +329,8 @@ fn main() {
                 threads,
                 r.requests as f64 / r.secs / 1e6,
                 r.keys as f64 / r.secs / 1e6,
-                stats.point_latency_ns.p50(),
-                stats.point_latency_ns.p99(),
+                json_quantile(stats.point_latency_ns.p50()),
+                json_quantile(stats.point_latency_ns.p99()),
                 if r.validated { "ok" } else { "FAIL" }
             );
             emit_cell_row(structure, shards, threads, &r, &service);

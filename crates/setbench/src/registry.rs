@@ -42,17 +42,45 @@ pub enum StructureCategory {
     Persistent,
 }
 
-/// How a structure serves `ConcurrentMap::range` (drives the scan figure's
-/// interpretation: fallback scans pay one point lookup per key in the
-/// window).
+/// How a structure serves `ConcurrentMap::range`.
+///
+/// This drives two consumers: the scan figure's interpretation (fallback
+/// scans pay one point lookup per key in the window) and the `conctest`
+/// linearizability checker's model of a scan (only [`Snapshot`] scans are
+/// checked as one atomic multi-key read; the other two levels promise only
+/// per-element linearizability, so their scans are checked key by key).
+///
+/// [`Snapshot`]: ScanSupport::Snapshot
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanSupport {
-    /// Overrides `range` with an ordered traversal of its own layout (the
-    /// (a,b)-trees additionally validate versions, making the scan a
-    /// linearizable snapshot).
+    /// Native ordered traversal that additionally validates node versions,
+    /// making the whole result one linearizable snapshot (the (a,b)-trees'
+    /// double-collect-and-revalidate protocol).
+    Snapshot,
+    /// Native ordered traversal of its own layout, per-element linearizable
+    /// but *not* an atomic snapshot of the window (e.g. the skiplist's
+    /// list-order walk).
     Native,
     /// Uses the default `range`: one `get` per key in the window.
     Fallback,
+}
+
+impl ScanSupport {
+    /// Whether `range` walks the structure's own layout instead of probing
+    /// key by key (true for [`Snapshot`] and [`Native`]).
+    ///
+    /// [`Snapshot`]: ScanSupport::Snapshot
+    /// [`Native`]: ScanSupport::Native
+    pub fn is_native(self) -> bool {
+        !matches!(self, ScanSupport::Fallback)
+    }
+
+    /// Whether a scan's result is guaranteed to be one atomic snapshot of
+    /// the window — the property the `conctest` checker verifies jointly
+    /// across keys.
+    pub fn is_snapshot(self) -> bool {
+        matches!(self, ScanSupport::Snapshot)
+    }
 }
 
 /// One registered data structure: the single source of truth for its
@@ -68,7 +96,7 @@ pub struct StructureDescriptor {
     pub factory: fn() -> Box<dyn Benchable>,
 }
 
-use ScanSupport::{Fallback, Native};
+use ScanSupport::{Fallback, Native, Snapshot};
 use StructureCategory::{Persistent, Volatile};
 
 /// Factory helper: builds a default instance of `T` behind the trait object.
@@ -85,13 +113,13 @@ pub static STRUCTURES: &[StructureDescriptor] = &[
     StructureDescriptor {
         name: "elim-abtree",
         category: Volatile,
-        scan: Native,
+        scan: Snapshot,
         factory: boxed::<ElimABTree>,
     },
     StructureDescriptor {
         name: "occ-abtree",
         category: Volatile,
-        scan: Native,
+        scan: Snapshot,
         factory: boxed::<OccABTree>,
     },
     StructureDescriptor {
@@ -121,13 +149,13 @@ pub static STRUCTURES: &[StructureDescriptor] = &[
     StructureDescriptor {
         name: "p-elim-abtree",
         category: Persistent,
-        scan: Native,
+        scan: Snapshot,
         factory: boxed::<PElimABTree>,
     },
     StructureDescriptor {
         name: "p-occ-abtree",
         category: Persistent,
-        scan: Native,
+        scan: Snapshot,
         factory: boxed::<POccABTree>,
     },
     StructureDescriptor {
@@ -172,12 +200,22 @@ pub fn scan_support(name: &str) -> Option<ScanSupport> {
     descriptor(name).map(|d| d.scan)
 }
 
-/// Names of the structures with a native `range` implementation, in table
-/// order.
+/// Names of the structures with a native `range` implementation (snapshot
+/// or per-element), in table order.
 pub fn native_scan_structures() -> Vec<&'static str> {
     STRUCTURES
         .iter()
-        .filter(|d| d.scan == Native)
+        .filter(|d| d.scan.is_native())
+        .map(|d| d.name)
+        .collect()
+}
+
+/// Names of the structures whose scans are atomic snapshots, in table
+/// order — the set the `conctest` checker holds to joint scan atomicity.
+pub fn snapshot_scan_structures() -> Vec<&'static str> {
+    STRUCTURES
+        .iter()
+        .filter(|d| d.scan.is_snapshot())
         .map(|d| d.name)
         .collect()
 }
@@ -258,9 +296,11 @@ mod tests {
         make_structure("no-such-tree");
     }
 
-    /// The scan-support column the figure drivers and docs rely on: the
-    /// (a,b)-tree family, the skiplist and the COW tree walk their own
-    /// layouts; the remaining baselines use the point-lookup fallback.
+    /// The scan-support column the figure drivers, docs and the `conctest`
+    /// checker rely on: the (a,b)-tree family, the skiplist and the COW tree
+    /// walk their own layouts; the remaining baselines use the point-lookup
+    /// fallback; and of the native set, exactly the (a,b)-trees (which
+    /// validate leaf versions) promise atomic snapshots.
     #[test]
     fn scan_support_metadata() {
         assert_eq!(
@@ -274,9 +314,18 @@ mod tests {
                 "p-occ-abtree",
             ]
         );
+        assert_eq!(
+            snapshot_scan_structures(),
+            vec!["elim-abtree", "occ-abtree", "p-elim-abtree", "p-occ-abtree"],
+            "the set conctest checks for joint scan atomicity"
+        );
         assert_eq!(scan_support("catree"), Some(ScanSupport::Fallback));
-        assert_eq!(scan_support("elim-abtree"), Some(ScanSupport::Native));
+        assert_eq!(scan_support("elim-abtree"), Some(ScanSupport::Snapshot));
+        assert_eq!(scan_support("skiplist-lazy"), Some(ScanSupport::Native));
         assert_eq!(scan_support("no-such-tree"), None);
+        assert!(ScanSupport::Snapshot.is_native() && ScanSupport::Snapshot.is_snapshot());
+        assert!(ScanSupport::Native.is_native() && !ScanSupport::Native.is_snapshot());
+        assert!(!ScanSupport::Fallback.is_native() && !ScanSupport::Fallback.is_snapshot());
         // Whatever the support level, every structure must answer scans.
         let mut out = Vec::new();
         for d in STRUCTURES {

@@ -331,6 +331,73 @@ mod tests {
         }
     }
 
+    /// `from_shares` edge cases: zero shares degrade to a find-only mix,
+    /// single-share extremes leave no finds, and a fully subscribed budget
+    /// (shares summing to exactly 100) is accepted with zero finds.
+    #[test]
+    fn from_shares_edge_cases() {
+        let none = OperationMix::from_shares(0, 0, 0, 0);
+        assert_eq!(none.find_pct(), 100, "zero shares mean all finds");
+        assert_eq!(none.update_percent(), 0);
+        assert_eq!(none.label(), "u0");
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(none.sample(&mut rng), Operation::Find);
+        }
+
+        // Each share can individually consume the whole budget.
+        let all_updates = OperationMix::from_shares(100, 0, 0, 0);
+        assert_eq!(all_updates.find_pct(), 0);
+        assert_eq!(all_updates.insert_pct(), 50);
+        assert_eq!(all_updates.delete_pct(), 50);
+        let all_scans = OperationMix::from_shares(0, 100, 0, 0);
+        assert_eq!(all_scans.scan_pct(), 100);
+        let all_mgets = OperationMix::from_shares(0, 0, 100, 0);
+        assert_eq!(all_mgets.mget_pct(), 100);
+
+        // Exactly subscribed (sums to 100): accepted, zero finds.
+        let full = OperationMix::from_shares(40, 30, 20, 10);
+        assert_eq!(full.find_pct(), 0);
+        assert_eq!(full.insert_pct() + full.delete_pct(), 40);
+        assert_eq!(full.label(), "u40s30mg20mp10");
+
+        // Odd update split gives the extra point to inserts.
+        let odd = OperationMix::from_shares(1, 0, 0, 0);
+        assert_eq!((odd.insert_pct(), odd.delete_pct()), (1, 0));
+    }
+
+    /// One past the budget must panic, for each share position.
+    #[test]
+    fn from_shares_rejects_oversubscription_in_every_position() {
+        for (u, s, g, p) in [(101, 0, 0, 0), (0, 101, 0, 0), (0, 0, 101, 0), (0, 0, 0, 101),
+                             (97, 2, 1, 1)]
+        {
+            let result = std::panic::catch_unwind(|| OperationMix::from_shares(u, s, g, p));
+            assert!(result.is_err(), "shares ({u},{s},{g},{p}) must panic");
+        }
+        // u32 overflow in the share sum must not wrap into a valid total.
+        let result =
+            std::panic::catch_unwind(|| OperationMix::from_shares(u32::MAX, u32::MAX, 2, 0));
+        assert!(result.is_err(), "overflowing shares must panic");
+    }
+
+    /// The sum-to-100 error text names all six operations, so a user who
+    /// mis-specifies any share can see the full budget being validated.
+    #[test]
+    fn bad_sum_error_lists_all_six_operations() {
+        for bad in [
+            OperationMix::try_new(0, 0, 0, 0, 0, 0).unwrap_err(),
+            OperationMix::try_new(10, 10, 10, 10, 10, 10).unwrap_err(),
+            OperationMix::try_new(u32::MAX, 0, 0, 0, 0, 1).unwrap_err(),
+        ] {
+            let text = bad.to_string();
+            for op in ["insert", "delete", "find", "scan", "mget", "mput"] {
+                assert!(text.contains(op), "`{text}` omits {op}");
+            }
+            assert!(text.contains("100"), "`{text}` does not name the target");
+        }
+    }
+
     #[test]
     fn try_new_rejects_bad_sums() {
         assert_eq!(

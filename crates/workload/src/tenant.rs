@@ -134,6 +134,57 @@ mod tests {
         );
     }
 
+    /// Window boundaries: the degenerate single-tenant / single-key
+    /// distributions are fixed points, and samples never escape the
+    /// configured windows even at the extremes of the tenant id space.
+    #[test]
+    fn window_boundaries() {
+        let mut rng = StdRng::seed_from_u64(11);
+
+        // Smallest possible windows: always (0, 0).
+        let point = TenantKeyDistribution::new(1, 1.0, 1, 1.0);
+        for _ in 0..100 {
+            assert_eq!(point.sample(&mut rng), (0, 0));
+        }
+
+        // Full 16-bit tenant space: the sampled tenant must stay
+        // representable (no wrap past u16::MAX) and keys inside the window.
+        let wide = TenantKeyDistribution::new(u16::MAX, 0.0, 3, 0.0);
+        let mut seen_hi = 0u16;
+        for _ in 0..20_000 {
+            let (tenant, key) = wide.sample(&mut rng);
+            assert!(tenant < u16::MAX);
+            assert!(key < 3);
+            seen_hi = seen_hi.max(tenant);
+        }
+        assert!(
+            seen_hi > u16::MAX / 2,
+            "uniform draw never reached the upper tenant window (max {seen_hi})"
+        );
+
+        // Two tenants, two keys: all four corners of the window are
+        // reachable.
+        let corners = TenantKeyDistribution::new(2, 0.0, 2, 0.0);
+        let mut hit = [[false; 2]; 2];
+        for _ in 0..1_000 {
+            let (tenant, key) = corners.sample(&mut rng);
+            hit[tenant as usize][key as usize] = true;
+        }
+        assert_eq!(hit, [[true; 2]; 2], "corner coverage: {hit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenants_panics() {
+        TenantKeyDistribution::new(0, 1.0, 10, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_per_tenant_panics() {
+        TenantKeyDistribution::new(4, 1.0, 0, 1.0);
+    }
+
     #[test]
     fn label_names_both_levels() {
         let dist = TenantKeyDistribution::new(8, 1.0, 1_000, 0.0);

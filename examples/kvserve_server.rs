@@ -124,12 +124,15 @@ fn main() {
             row.hit_rate()
         );
     }
+    // The workload above always records both histograms, so quantiles are
+    // `Some`; an empty histogram would print "n/a" instead of a fake 0.
+    let fmt_ns = |q: Option<u64>| q.map_or_else(|| "n/a".to_string(), |ns| ns.to_string());
     println!(
         "point ops: p50 {} ns, p99 {} ns; batches: p50 {} ns, p99 {} ns",
-        stats.point_latency_ns.p50(),
-        stats.point_latency_ns.p99(),
-        stats.batch_latency_ns.p50(),
-        stats.batch_latency_ns.p99(),
+        fmt_ns(stats.point_latency_ns.p50()),
+        fmt_ns(stats.point_latency_ns.p99()),
+        fmt_ns(stats.batch_latency_ns.p50()),
+        fmt_ns(stats.batch_latency_ns.p99()),
     );
     // Cross-shard validation: the shards must hold exactly the keys the
     // tenants inserted.

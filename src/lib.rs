@@ -6,6 +6,7 @@ pub use abpmem as pmem;
 pub use absync as sync;
 pub use abtree;
 pub use baselines;
+pub use conctest;
 pub use kvserve;
 pub use pabtree;
 pub use setbench;
