@@ -17,6 +17,7 @@
 //! response       := 0x81 opt                              -- Value
 //!                 | 0x82 varint(n) opt*n                  -- Values
 //!                 | 0x83 varint(n) (varint varint)*n      -- Entries
+//!                 | 0x84                                  -- Overloaded
 //! opt            := 0x00 | 0x01 varint(value)
 //! ```
 //!
@@ -274,6 +275,8 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
                 write_varint(out, value);
             }
         }
+        // Payload-free: the shed signal carries no data, only the tag.
+        Response::Overloaded => out.push(0x84),
     }
 }
 
@@ -300,6 +303,7 @@ fn decode_response(buf: &[u8], pos: &mut usize) -> Result<Response, CodecError> 
             }
             Response::Entries(entries)
         }
+        0x84 => Response::Overloaded,
         other => return Err(CodecError::BadTag(other)),
     })
 }
@@ -402,9 +406,13 @@ mod tests {
             Response::Value(Some(9)),
             Response::Values(vec![Some(1), None, Some(u64::MAX)]),
             Response::Entries(vec![(1, 2), (3, 4)]),
+            Response::Overloaded,
         ];
         encode_response_batch(&resps, &mut wire);
         assert_eq!(decode_response_batch(&wire).unwrap(), resps);
+        // Overloaded is a bare tag: it must cost exactly one byte.
+        encode_response_batch(&[Response::Overloaded], &mut wire);
+        assert_eq!(wire, vec![1, 0x84]);
     }
 
     #[test]

@@ -5,18 +5,28 @@
 //! crate grows them toward the front half of a real serving system.  It
 //! adds the pieces a data structure does not have but a service needs:
 //!
-//! * **Sharding** ([`KvService`]): `S` independent engine instances behind
-//!   a multiplicative-hash router.  Each shard can be any structure —
-//!   concrete trees, or the benchmark registry's `Box<dyn Benchable>` trait
-//!   objects (the [`ShardStore`] bound is blanket-implemented for every
-//!   `ConcurrentMap + KeySum` type).
-//! * **Per-worker routing sessions** ([`ShardRouter`]): one engine session
-//!   per shard, opened once and pinned to the worker, so serving a request
-//!   costs a local epoch pin — never a collector registration.
+//! * **Sharding with thread-per-shard ownership** ([`KvService`]): `S`
+//!   independent engine instances behind a multiplicative-hash router, each
+//!   owned by one dedicated worker thread holding the shard's single
+//!   long-lived engine session — the tree's EBR epoch and hot cache lines
+//!   stay on one core for the shard's whole lifetime.  Each shard can be
+//!   any structure — concrete trees, or the benchmark registry's
+//!   `Box<dyn Benchable>` trait objects (the [`ShardStore`] bound is
+//!   blanket-implemented for every `ConcurrentMap + KeySum` type).
+//! * **SPSC-fed routing sessions** ([`ShardRouter`]): a per-client session
+//!   holding one bounded single-producer/single-consumer lane pair
+//!   ([`queue`]) per shard.  Blocking calls round-trip one request; the
+//!   pipelined [`submit`](ShardRouter::submit)/[`collect`](ShardRouter::collect)
+//!   pair keeps a window in flight per shard and sheds with [`Overloaded`]
+//!   (never blocks) when a lane fills.
+//! * **A hot-key read cache** ([`cache`]): a small per-router direct-mapped
+//!   cache validated by per-shard mutation counters, so the top of the
+//!   Zipf curve never crosses a lane at all.
 //! * **Request batching** ([`Request::MGet`]/[`Request::MPut`]): batches
-//!   are regrouped by destination shard and served with one virtual
-//!   dispatch, one latency sample and one stats pass per shard touched,
-//!   instead of per key.
+//!   are regrouped by destination shard, shipped as one sub-batch per shard
+//!   (all fanned out before any reply is awaited, so shards execute
+//!   concurrently), and served with one latency sample and one stats pass
+//!   per shard touched, instead of per key.
 //! * **A compact wire codec** ([`codec`]): varint-based request/response
 //!   framing with strict, allocation-capped decoding.
 //! * **Namespaces** ([`Namespace`]): 16-bit tenant prefixes packed into the
@@ -57,16 +67,21 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod codec;
 pub mod namespace;
+pub mod queue;
 pub mod request;
 pub mod service;
 pub mod stats;
+mod worker;
 
+pub use cache::ReadCache;
 pub use codec::{
     decode_batch, decode_response_batch, encode_batch, encode_response_batch, CodecError,
 };
 pub use namespace::{Namespace, LOCAL_KEY_BITS, MAX_LOCAL_KEY};
+pub use queue::{Consumer, Producer, PushError};
 pub use request::{Request, Response};
-pub use service::{KvService, ShardRouter, ShardStore};
+pub use service::{KvService, Overloaded, ShardRouter, ShardStore, LANE_CAPACITY};
 pub use stats::{Histogram, OpCounters, ServiceStats};

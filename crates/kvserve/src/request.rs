@@ -89,6 +89,11 @@ pub enum Response {
     /// Result of a `Scan`: the `(key, value)` pairs stored in the window,
     /// sorted by key.
     Entries(Vec<(u64, u64)>),
+    /// The request was shed without executing: its target shard already had
+    /// a full lane of this client's requests in flight (see
+    /// [`crate::service::Overloaded`]).  A front-end answers with this
+    /// instead of blocking its event loop; the client may retry.
+    Overloaded,
 }
 
 #[cfg(test)]

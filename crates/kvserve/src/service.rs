@@ -1,24 +1,49 @@
-//! The sharded service and its per-worker routers.
+//! The sharded service, its shard-owner workers, and the per-client
+//! routers.
 //!
-//! A [`KvService`] owns `S` independent engine instances (*shards*) plus the
-//! shared [`ServiceStats`].  Keys are spread over shards with a
-//! multiplicative hash, so contiguous hot key ranges (Zipfian traffic) still
-//! fan out — but a *single* hot key concentrates on one shard, which is the
-//! hot-shard regime the load driver exercises.
+//! A [`KvService`] owns `S` independent engine instances (*shards*).  Each
+//! shard is owned by exactly one dedicated worker thread (the private
+//! `worker` module) that opens the shard's single long-lived
+//! [`abtree::MapHandle`] and executes every operation that touches the
+//! shard, so the tree's EBR epoch and hot cache lines stay put.  Keys are
+//! spread over shards with a multiplicative hash, so contiguous hot key
+//! ranges (Zipfian traffic) still fan out — but a *single* hot key
+//! concentrates on one shard, which is the hot-shard regime the load
+//! driver exercises.
 //!
-//! All request traffic flows through per-worker [`ShardRouter`] sessions.  A
-//! router opens one [`MapHandle`] per shard **once** and keeps them for its
-//! lifetime, so the per-operation cost is a local epoch pin in the target
-//! shard rather than a collector registration; batches additionally amortize
-//! virtual dispatch (one `get_batch`/`insert_batch` call per shard touched)
-//! and the latency bookkeeping (one timestamp pair per batch).
+//! All request traffic flows through per-client [`ShardRouter`] sessions.
+//! A router is a thin enqueue/await layer: it owns one pair of bounded
+//! SPSC lanes ([`crate::queue`]) per shard, splits `MGet`/`MPut` into
+//! shard-local sub-batches, pushes them to the owning workers (fanning out
+//! before collecting, so shards execute concurrently), and reassembles the
+//! completions in input order.  In front of the queues sits a per-router
+//! hot-key read cache ([`crate::cache`]) validated by the shards' mutation
+//! counters, so the top of the Zipf curve never crosses a lane at all.
+//!
+//! Two request interfaces share the lanes:
+//!
+//! * the **blocking** methods ([`get`](ShardRouter::get),
+//!   [`mget`](ShardRouter::mget), ...) — one call, one completed result;
+//! * the **pipelined** pair [`submit`](ShardRouter::submit) /
+//!   [`collect`](ShardRouter::collect) for point requests, which keeps up
+//!   to [`LANE_CAPACITY`] requests per shard in flight and returns
+//!   [`Overloaded`] — never blocks — when a lane is full.  The two styles
+//!   must not be interleaved: blocking calls assert that nothing is in
+//!   flight.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-use abtree::{ConcurrentMap, KeySum, MapHandle};
+use abtree::{ConcurrentMap, KeySum};
 
+use crate::cache::ReadCache;
+use crate::queue::{self, Consumer, Producer};
 use crate::request::{Request, Response};
-use crate::stats::ServiceStats;
+use crate::stats::{Histogram, ServiceStats};
+use crate::worker::{run_shard_owner, Lane, ShardCell, ShardJob, ShardReply, ShardState};
 
 /// What a shard must provide: per-thread sessions ([`ConcurrentMap`]) plus
 /// quiescent key-sum validation ([`KeySum`]).
@@ -30,16 +55,42 @@ pub trait ShardStore: ConcurrentMap + KeySum {}
 
 impl<T: ConcurrentMap + KeySum + ?Sized> ShardStore for T {}
 
+/// Capacity of each SPSC lane, and therefore the per-shard in-flight cap
+/// of one router's pipelined submissions.  A 65th uncollected submission
+/// to one shard is refused with [`Overloaded`].
+pub const LANE_CAPACITY: usize = 64;
+
+/// Backpressure signal of [`ShardRouter::submit`]: the target shard's lane
+/// already holds [`LANE_CAPACITY`] uncollected requests from this router.
+/// The request was **not** enqueued; collect completions (or shed the
+/// request — the wire codec can answer [`Response::Overloaded`]) and
+/// retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard lane full: {LANE_CAPACITY} requests already in flight")
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
 /// A sharded, batched, embedded key-value service (see the module docs).
 pub struct KvService {
-    shards: Vec<Box<dyn ShardStore>>,
+    shards: Vec<Arc<ShardCell>>,
+    owners: Vec<JoinHandle<()>>,
     stats: ServiceStats,
+    /// How long routers spin on an empty reply lane before yielding; ~0 on
+    /// a single-core host, where spinning only delays the worker.
+    reply_spin: u32,
 }
 
 impl KvService {
     /// Builds a service with `shards` shards and `namespace_slots`
     /// namespace-stat rows (both clamped to at least 1), constructing each
-    /// shard with `factory` (called with the shard index).
+    /// shard with `factory` (called with the shard index) and spawning its
+    /// owner thread.
     ///
     /// The factory returns boxed [`ShardStore`]s, so shards can be concrete
     /// trees (`Box::new(ElimABTree::new())`) or registry-built trait objects
@@ -49,9 +100,36 @@ impl KvService {
         namespace_slots: usize,
         mut factory: impl FnMut(usize) -> Box<dyn ShardStore>,
     ) -> Self {
-        let shards: Vec<_> = (0..shards.max(1)).map(&mut factory).collect();
+        let shards: Vec<Arc<ShardCell>> = (0..shards.max(1))
+            .map(|index| {
+                Arc::new(ShardCell {
+                    store: factory(index),
+                    state: ShardState::new(),
+                })
+            })
+            .collect();
         let stats = ServiceStats::new(shards.len(), namespace_slots.max(1));
-        Self { shards, stats }
+        let owners = shards
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| {
+                let thread_cell = Arc::clone(cell);
+                let owner = std::thread::Builder::new()
+                    .name(format!("kvserve-shard-{index}"))
+                    .spawn(move || run_shard_owner(thread_cell))
+                    .expect("failed to spawn a shard owner thread");
+                cell.state.set_owner(owner.thread().clone());
+                owner
+            })
+            .collect();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let reply_spin = if cores > 1 { 128 } else { 1 };
+        Self {
+            shards,
+            owners,
+            stats,
+            reply_spin,
+        }
     }
 
     /// Number of shards.
@@ -83,33 +161,90 @@ impl KvService {
         ((hashed as u128 * self.shards.len() as u128) >> 64) as usize
     }
 
-    /// Opens a per-worker router session (one [`MapHandle`] per shard).
-    /// Call once per worker thread, like [`ConcurrentMap::handle`].
+    /// Opens a per-client router session: one SPSC lane pair per shard,
+    /// registered with the owning workers, plus a fresh hot-key cache.
+    /// Call once per client thread, like [`ConcurrentMap::handle`].
     pub fn router(&self) -> ShardRouter<'_> {
+        let mut lanes = Vec::with_capacity(self.shards.len());
+        for cell in &self.shards {
+            let (jobs, worker_jobs) = queue::channel(LANE_CAPACITY);
+            let (worker_replies, replies) = queue::channel(LANE_CAPACITY);
+            cell.state.register_lane(Lane {
+                jobs: worker_jobs,
+                replies: worker_replies,
+            });
+            lanes.push(RouterLane {
+                jobs,
+                replies,
+                outstanding: 0,
+            });
+        }
         ShardRouter {
-            handles: self.shards.iter().map(|s| s.handle()).collect(),
+            service: self,
+            lanes,
+            cache: ReadCache::new(),
             groups: (0..self.shards.len()).map(|_| Group::default()).collect(),
             touched: Vec::new(),
-            service: self,
-            batch_results: Vec::new(),
-            shard_scan: Vec::new(),
+            pending: VecDeque::new(),
         }
     }
 
     /// Sum of keys stored across all shards.  Quiescent only, like
     /// [`KeySum::key_sum`]; drives the cross-shard checksum validation.
     pub fn key_sum(&self) -> u128 {
-        self.shards.iter().map(|s| s.key_sum()).sum()
+        self.shards.iter().map(|cell| cell.store.key_sum()).sum()
     }
 
     /// Per-shard key sums, in shard order (quiescent only).
     pub fn shard_key_sums(&self) -> Vec<u128> {
-        self.shards.iter().map(|s| s.key_sum()).collect()
+        self.shards.iter().map(|cell| cell.store.key_sum()).collect()
     }
 
     /// The registry name of shard `index`'s structure.
     pub fn shard_name(&self, index: usize) -> &'static str {
-        self.shards[index].name()
+        self.shards[index].store.name()
+    }
+
+    /// The per-shard queue-run-length histograms (how many requests each
+    /// owner drains per lane visit — the dispatch amortization the
+    /// ownership model buys), merged across shards with
+    /// [`Histogram::merge`].
+    pub fn run_length_histogram(&self) -> Histogram {
+        let mut merged = Histogram::new();
+        for cell in &self.shards {
+            merged.merge(&cell.state.run_length);
+        }
+        merged
+    }
+
+    /// Stops and joins every shard owner thread.  Idempotent; also runs on
+    /// drop.  Requires `&mut self`, so it cannot race any live router (a
+    /// router borrows the service).
+    pub fn shutdown(&mut self) {
+        for cell in &self.shards {
+            cell.state.begin_shutdown();
+        }
+        for owner in self.owners.drain(..) {
+            // A panicked owner already surfaced as a router panic; the
+            // join result adds nothing (and must not double-panic in drop).
+            let _ = owner.join();
+        }
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has already joined the shard
+    /// owners.
+    pub fn is_shut_down(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    pub(crate) fn shard_state(&self, shard: usize) -> &ShardState {
+        &self.shards[shard].state
+    }
+}
+
+impl Drop for KvService {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -117,7 +252,7 @@ impl std::fmt::Debug for KvService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvService")
             .field("shards", &self.shards.len())
-            .field("structure", &self.shards.first().map(|s| s.name()))
+            .field("structure", &self.shards.first().map(|cell| cell.store.name()))
             .finish_non_exhaustive()
     }
 }
@@ -132,21 +267,54 @@ struct Group {
     positions: Vec<u32>,
 }
 
-/// A per-worker session over the whole service: one pinned engine session
-/// per shard, plus regrouping scratch so batch execution allocates nothing
-/// in steady state.
+/// The router's end of one shard's lane pair. `outstanding` counts
+/// submitted-but-uncollected requests, which bounds the occupancy of both
+/// rings (so neither side ever meets a full ring unexpectedly).
+struct RouterLane {
+    jobs: Producer<ShardJob>,
+    replies: Consumer<ShardReply>,
+    outstanding: usize,
+}
+
+/// The point-request kinds the pipelined interface carries.
+#[derive(Clone, Copy)]
+enum PointOp {
+    Get,
+    Put,
+    Delete,
+}
+
+/// One submitted-but-uncollected request, in submission order.
+enum Pending {
+    /// Answered immediately (a cache hit); stats were already recorded.
+    Ready { response: Response },
+    /// In flight to `shard`; `value` is the put payload (for cache fill).
+    Point {
+        op: PointOp,
+        shard: usize,
+        key: u64,
+        value: u64,
+        started: Instant,
+    },
+}
+
+/// A per-client session over the whole service: one SPSC lane pair per
+/// shard feeding the shard owners, a private hot-key read cache, and
+/// regrouping scratch so batch execution allocates only the sub-batch
+/// vectors it ships across the lanes.
 ///
-/// Obtained from [`KvService::router`]; like the engine handles it wraps, a
-/// router must stay on the thread that opened it.
+/// Obtained from [`KvService::router`].  Routers are independent; open one
+/// per client thread.
 pub struct ShardRouter<'s> {
     service: &'s KvService,
-    handles: Vec<Box<dyn MapHandle + 's>>,
+    lanes: Vec<RouterLane>,
+    cache: ReadCache,
     groups: Vec<Group>,
     /// Shards with a non-empty group in the batch being executed (sparse
     /// clear: only touched groups are reset).
     touched: Vec<usize>,
-    batch_results: Vec<Option<u64>>,
-    shard_scan: Vec<(u64, u64)>,
+    /// FIFO of pipelined submissions awaiting [`collect`](Self::collect).
+    pending: VecDeque<Pending>,
 }
 
 impl<'s> ShardRouter<'s> {
@@ -155,55 +323,222 @@ impl<'s> ShardRouter<'s> {
         self.service
     }
 
+    /// Blocking calls must not overtake pipelined submissions: per-lane
+    /// replies are matched to requests purely by FIFO order.
+    #[inline]
+    fn assert_unpipelined(&self) {
+        assert!(
+            self.pending.is_empty(),
+            "blocking router calls cannot run while pipelined submissions are in flight; \
+             collect() them first"
+        );
+    }
+
+    /// Pushes `job` into `shard`'s lane and wakes its owner. The caller
+    /// guarantees lane capacity (sync calls keep at most one request per
+    /// shard in flight; pipelined submission checks `outstanding` first).
+    fn enqueue(&mut self, shard: usize, job: ShardJob) {
+        let lane = &mut self.lanes[shard];
+        if lane.jobs.try_push(job).is_err() {
+            panic!("shard lane rejected a push despite the in-flight cap");
+        }
+        lane.outstanding += 1;
+        // StoreLoad fence: the push above must be visible before we sample
+        // the idle flag, or we could skip the unpark exactly as the owner
+        // parks (it re-scans after raising the flag, symmetrically fenced).
+        fence(Ordering::SeqCst);
+        self.service.shard_state(shard).wake();
+    }
+
+    /// Pops the next reply from `shard`'s lane, spinning briefly (tuned to
+    /// ~zero on single-core hosts) and then yielding.
+    fn await_reply(&mut self, shard: usize) -> ShardReply {
+        let spin_limit = self.service.reply_spin;
+        let lane = &mut self.lanes[shard];
+        let mut spins = 0u32;
+        loop {
+            if let Some(reply) = lane.replies.try_pop() {
+                lane.outstanding -= 1;
+                return reply;
+            }
+            assert!(
+                !lane.replies.is_disconnected(),
+                "shard owner thread died with replies outstanding"
+            );
+            spins += 1;
+            if spins < spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     /// Point lookup of `key`.
     pub fn get(&mut self, key: u64) -> Option<u64> {
-        let stats = &self.service.stats;
-        let shard = self.service.shard_of(key);
-        let started = Instant::now();
-        let value = self.handles[shard].get(key);
-        stats.point_latency_ns.record(elapsed_ns(started));
-        stats.shard(shard).record_get(value.is_some());
-        let ns = stats.namespace(stats.namespace_slot(key));
-        ns.record_get(value.is_some());
-        value
+        self.assert_unpipelined();
+        self.submit_point(PointOp::Get, key, 0)
+            .expect("nothing in flight, the lane cannot be full");
+        match self.collect() {
+            Response::Value(value) => value,
+            _ => unreachable!("point submissions collect point responses"),
+        }
     }
 
     /// Insert-if-absent of `key -> value`: returns the existing value
     /// (leaving it unchanged) if `key` was present, `None` if the pair was
-    /// inserted (see [`MapHandle::insert`]).
+    /// inserted (see [`abtree::MapHandle::insert`]).
     pub fn put(&mut self, key: u64, value: u64) -> Option<u64> {
-        let stats = &self.service.stats;
-        let shard = self.service.shard_of(key);
-        let started = Instant::now();
-        let previous = self.handles[shard].insert(key, value);
-        stats.point_latency_ns.record(elapsed_ns(started));
-        stats.shard(shard).record_put();
-        stats.namespace(stats.namespace_slot(key)).record_put();
-        previous
+        self.assert_unpipelined();
+        self.submit_point(PointOp::Put, key, value)
+            .expect("nothing in flight, the lane cannot be full");
+        match self.collect() {
+            Response::Value(previous) => previous,
+            _ => unreachable!("point submissions collect point responses"),
+        }
     }
 
     /// Removes `key`, returning its value if it was present.
     pub fn delete(&mut self, key: u64) -> Option<u64> {
-        let stats = &self.service.stats;
-        let shard = self.service.shard_of(key);
+        self.assert_unpipelined();
+        self.submit_point(PointOp::Delete, key, 0)
+            .expect("nothing in flight, the lane cannot be full");
+        match self.collect() {
+            Response::Value(removed) => removed,
+            _ => unreachable!("point submissions collect point responses"),
+        }
+    }
+
+    /// Pipelined submission of a point request (`Get`/`Put`/`Delete`).
+    ///
+    /// Returns without waiting for execution; responses are retrieved with
+    /// [`collect`](Self::collect) in submission order.  Fails with
+    /// [`Overloaded`] — refusing the request rather than blocking — when
+    /// the target shard already has [`LANE_CAPACITY`] of this router's
+    /// requests in flight.  A `Get` answered by the hot-key cache completes
+    /// immediately (it still must be `collect`ed, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Scan`/`MGet`/`MPut` requests: batches and scans use the
+    /// blocking methods, whose shard fan-out is already parallel.
+    pub fn submit(&mut self, request: &Request) -> Result<(), Overloaded> {
+        match *request {
+            Request::Get { key } => self.submit_point(PointOp::Get, key, 0),
+            Request::Put { key, value } => self.submit_point(PointOp::Put, key, value),
+            Request::Delete { key } => self.submit_point(PointOp::Delete, key, 0),
+            Request::Scan { .. } | Request::MGet { .. } | Request::MPut { .. } => panic!(
+                "pipelined submission carries point requests only; \
+                 use scan/mget/mput (their shard fan-out is already parallel)"
+            ),
+        }
+    }
+
+    fn submit_point(&mut self, op: PointOp, key: u64, value: u64) -> Result<(), Overloaded> {
+        let service = self.service;
+        let stats = service.stats();
+        let shard = service.shard_of(key);
         let started = Instant::now();
-        let removed = self.handles[shard].delete(key);
-        stats.point_latency_ns.record(elapsed_ns(started));
-        stats.shard(shard).record_delete();
-        stats.namespace(stats.namespace_slot(key)).record_delete();
-        removed
+        if matches!(op, PointOp::Get) {
+            let version = service.shard_state(shard).current_version();
+            if let Some(cached) = self.cache.lookup(key, version) {
+                stats.record_cache_hit();
+                stats.point_latency_ns.record(elapsed_ns(started));
+                stats.shard(shard).record_get(cached.is_some());
+                stats
+                    .namespace(stats.namespace_slot(key))
+                    .record_get(cached.is_some());
+                self.pending.push_back(Pending::Ready {
+                    response: Response::Value(cached),
+                });
+                return Ok(());
+            }
+        }
+        if self.lanes[shard].outstanding >= LANE_CAPACITY {
+            stats.record_shed();
+            return Err(Overloaded);
+        }
+        let job = match op {
+            PointOp::Get => ShardJob::Get { key },
+            PointOp::Put => ShardJob::Put { key, value },
+            PointOp::Delete => ShardJob::Delete { key },
+        };
+        self.enqueue(shard, job);
+        self.pending.push_back(Pending::Point {
+            op,
+            shard,
+            key,
+            value,
+            started,
+        });
+        Ok(())
+    }
+
+    /// Number of pipelined submissions not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Retrieves the response to the **oldest** uncollected submission,
+    /// waiting for its shard if it has not completed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is in flight.
+    pub fn collect(&mut self) -> Response {
+        let pending = self.pending.pop_front().expect("no submissions in flight");
+        match pending {
+            Pending::Ready { response } => response,
+            Pending::Point {
+                op,
+                shard,
+                key,
+                value,
+                started,
+            } => {
+                let ShardReply::Value { value: result, version } = self.await_reply(shard) else {
+                    unreachable!("point jobs produce point replies")
+                };
+                let stats = self.service.stats();
+                stats.point_latency_ns.record(elapsed_ns(started));
+                let ns = stats.namespace(stats.namespace_slot(key));
+                match op {
+                    PointOp::Get => {
+                        stats.shard(shard).record_get(result.is_some());
+                        ns.record_get(result.is_some());
+                        self.cache.store(key, result, version);
+                    }
+                    PointOp::Put => {
+                        stats.shard(shard).record_put();
+                        ns.record_put();
+                        // Either the insert landed (key -> value) or it was
+                        // a no-op (key kept its prior value); both are
+                        // exact at the replied version.
+                        self.cache.store(key, Some(result.unwrap_or(value)), version);
+                    }
+                    PointOp::Delete => {
+                        stats.shard(shard).record_delete();
+                        ns.record_delete();
+                        // Whatever was there, the key is now absent.
+                        self.cache.store(key, None, version);
+                    }
+                }
+                Response::Value(result)
+            }
+        }
     }
 
     /// Scatter-gather scan of the window `[lo, lo + len - 1]` (clamped below
-    /// the engine's reserved sentinel): every shard is scanned and the
-    /// results are merged into `out`, sorted by key (`out` is cleared
-    /// first).
+    /// the engine's reserved sentinel): every shard owner scans its slice
+    /// concurrently and the results are merged into `out`, sorted by key
+    /// (`out` is cleared first).
     ///
     /// Each *per-shard* sub-scan has that shard's scan guarantee (a
     /// linearizable snapshot on the (a,b)-trees); the merged cross-shard
-    /// result is *not* one atomic snapshot — shards are scanned one after
-    /// another, like any scatter-gather service read.
+    /// result is *not* one atomic snapshot — shards scan independently,
+    /// like any scatter-gather service read.
     pub fn scan(&mut self, lo: u64, len: u64, out: &mut Vec<(u64, u64)>) {
+        self.assert_unpipelined();
         // Same boundary guard as `shard_of` (which a scan bypasses): the
         // reserved sentinel is rejected loudly, not clamped into an empty
         // result.
@@ -217,9 +552,14 @@ impl<'s> ShardRouter<'s> {
             return;
         };
         let started = Instant::now();
-        for (shard, handle) in self.handles.iter_mut().enumerate() {
-            handle.range(lo, hi, &mut self.shard_scan);
-            out.extend_from_slice(&self.shard_scan);
+        for shard in 0..self.lanes.len() {
+            self.enqueue(shard, ShardJob::Range { lo, hi });
+        }
+        for shard in 0..self.lanes.len() {
+            let ShardReply::Entries { entries } = self.await_reply(shard) else {
+                unreachable!("range jobs produce entry replies")
+            };
+            out.extend_from_slice(&entries);
             stats.shard(shard).record_scan();
         }
         out.sort_unstable_by_key(|&(key, _)| key);
@@ -230,18 +570,30 @@ impl<'s> ShardRouter<'s> {
     /// Batched multi-get: one lookup per key, results pushed to `out`
     /// (cleared first) in input order.
     ///
-    /// Keys are regrouped by destination shard, and each shard serves its
-    /// whole sub-batch through one virtual [`MapHandle::get_batch`] call —
-    /// this is what makes an `N`-key multi-get cheaper than `N` single
-    /// [`get`](Self::get)s on the same router (one dispatch, one latency
-    /// sample, one stats pass per shard instead of per key).
+    /// Keys the hot-key cache can answer are filled in locally; the rest
+    /// are regrouped by destination shard and shipped as one
+    /// [`abtree::MapHandle::get_batch`] sub-batch per shard, **all fanned
+    /// out before any reply is awaited** — so an `N`-key multi-get costs
+    /// one concurrent queue round-trip, not `N` serial ones.
     pub fn mget(&mut self, keys: &[u64], out: &mut Vec<Option<u64>>) {
-        let stats = &self.service.stats;
+        self.assert_unpipelined();
+        let service = self.service;
+        let stats = service.stats();
         out.clear();
         out.resize(keys.len(), None);
         let started = Instant::now();
         for (position, &key) in keys.iter().enumerate() {
-            let shard = self.service.shard_of(key);
+            let shard = service.shard_of(key);
+            let version = service.shard_state(shard).current_version();
+            if let Some(cached) = self.cache.lookup(key, version) {
+                stats.record_cache_hit();
+                stats.shard(shard).record_lookup(cached.is_some());
+                let ns = stats.namespace(stats.namespace_slot(key));
+                ns.record_mget();
+                ns.record_lookup(cached.is_some());
+                out[position] = cached;
+                continue;
+            }
             let group = &mut self.groups[shard];
             if group.keys.is_empty() {
                 self.touched.push(shard);
@@ -249,23 +601,28 @@ impl<'s> ShardRouter<'s> {
             group.keys.push(key);
             group.positions.push(position as u32);
         }
-        for &shard in &self.touched {
-            let group = &mut self.groups[shard];
-            self.handles[shard].get_batch(&group.keys, &mut self.batch_results);
+        for i in 0..self.touched.len() {
+            let shard = self.touched[i];
+            let sub_batch = std::mem::take(&mut self.groups[shard].keys);
+            self.enqueue(shard, ShardJob::GetBatch { keys: sub_batch });
+        }
+        for i in 0..self.touched.len() {
+            let shard = self.touched[i];
+            let ShardReply::Values { values, version } = self.await_reply(shard) else {
+                unreachable!("batch jobs produce batch replies")
+            };
             let counters = stats.shard(shard);
             counters.record_mget();
-            for (&position, (&key, &value)) in group
-                .positions
-                .iter()
-                .zip(group.keys.iter().zip(&self.batch_results))
-            {
+            let group = &mut self.groups[shard];
+            for (&position, &value) in group.positions.iter().zip(&values) {
+                let key = keys[position as usize];
                 counters.record_lookup(value.is_some());
                 let ns = stats.namespace(stats.namespace_slot(key));
                 ns.record_mget();
                 ns.record_lookup(value.is_some());
                 out[position as usize] = value;
+                self.cache.store(key, value, version);
             }
-            group.keys.clear();
             group.positions.clear();
         }
         self.touched.clear();
@@ -277,15 +634,18 @@ impl<'s> ShardRouter<'s> {
     /// pushed to `out` (cleared first) in input order, `None` meaning the
     /// pair was inserted.
     ///
-    /// Same regrouping and amortization as [`mget`](Self::mget), through one
-    /// [`MapHandle::insert_batch`] call per shard touched.
+    /// Same regrouping and concurrent fan-out as [`mget`](Self::mget),
+    /// through one [`abtree::MapHandle::insert_batch`] sub-batch per shard
+    /// touched.
     pub fn mput(&mut self, pairs: &[(u64, u64)], out: &mut Vec<Option<u64>>) {
-        let stats = &self.service.stats;
+        self.assert_unpipelined();
+        let service = self.service;
+        let stats = service.stats();
         out.clear();
         out.resize(pairs.len(), None);
         let started = Instant::now();
         for (position, &(key, value)) in pairs.iter().enumerate() {
-            let shard = self.service.shard_of(key);
+            let shard = service.shard_of(key);
             let group = &mut self.groups[shard];
             if group.pairs.is_empty() {
                 self.touched.push(shard);
@@ -293,20 +653,27 @@ impl<'s> ShardRouter<'s> {
             group.pairs.push((key, value));
             group.positions.push(position as u32);
         }
-        for &shard in &self.touched {
-            let group = &mut self.groups[shard];
-            self.handles[shard].insert_batch(&group.pairs, &mut self.batch_results);
+        for i in 0..self.touched.len() {
+            let shard = self.touched[i];
+            let sub_batch = std::mem::take(&mut self.groups[shard].pairs);
+            self.enqueue(shard, ShardJob::PutBatch { pairs: sub_batch });
+        }
+        for i in 0..self.touched.len() {
+            let shard = self.touched[i];
+            let ShardReply::Values { values, version } = self.await_reply(shard) else {
+                unreachable!("batch jobs produce batch replies")
+            };
             let counters = stats.shard(shard);
             counters.record_mput();
-            for (&position, (&(key, _), &previous)) in group
-                .positions
-                .iter()
-                .zip(group.pairs.iter().zip(&self.batch_results))
-            {
+            let group = &mut self.groups[shard];
+            for (&position, &previous) in group.positions.iter().zip(&values) {
+                let (key, value) = pairs[position as usize];
                 stats.namespace(stats.namespace_slot(key)).record_mput();
                 out[position as usize] = previous;
+                // Same post-state as a point put: the key now holds either
+                // its prior value or the inserted one.
+                self.cache.store(key, Some(previous.unwrap_or(value)), version);
             }
-            group.pairs.clear();
             group.positions.clear();
         }
         self.touched.clear();
@@ -352,7 +719,8 @@ impl<'s> ShardRouter<'s> {
 impl std::fmt::Debug for ShardRouter<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardRouter")
-            .field("shards", &self.handles.len())
+            .field("shards", &self.lanes.len())
+            .field("in_flight", &self.pending.len())
             .finish_non_exhaustive()
     }
 }
@@ -521,6 +889,143 @@ mod tests {
         for shard in stats.shards() {
             assert_eq!(shard.scans(), 1);
         }
+        // The put filled the cache for key 1, so the get and the mget both
+        // hit it; key 2's miss is cached too and re-served to the mget.
+        assert_eq!(stats.cache_hits(), 3, "get(1), mget keys 1 and 2");
+        assert_eq!(stats.shed(), 0);
+    }
+
+    #[test]
+    fn cached_reads_observe_every_write() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        assert_eq!(router.put(8, 80), None);
+        // Warm hit.
+        assert_eq!(router.get(8), Some(80));
+        // A delete through the same shard owner must invalidate/overwrite.
+        assert_eq!(router.delete(8), Some(80));
+        assert_eq!(router.get(8), None);
+        // A no-op put (insert-if-absent on a present key) must NOT shed
+        // other cached entries: versions only move on real mutations.
+        router.put(9, 90);
+        let before = service.stats().cache_hits();
+        router.put(9, 91); // no-op
+        assert_eq!(router.get(9), Some(90), "first writer wins");
+        assert!(
+            service.stats().cache_hits() > before,
+            "the no-op put must not invalidate key 9's cache entry"
+        );
+        // Writes from a *different* router invalidate this router's cache
+        // through the shard version, not through any shared cache state.
+        let mut other = service.router();
+        assert_eq!(other.delete(9), Some(90));
+        drop(other);
+        assert_eq!(router.get(9), None, "stale hit would return Some(90)");
+    }
+
+    #[test]
+    fn pipelined_window_collects_in_order() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        for key in 0..32u64 {
+            router.put(key, key + 100);
+        }
+        // Submit a window of gets (some cache hits, some queued), then
+        // collect: responses must arrive in submission order.
+        for key in 0..32u64 {
+            router.submit(&Request::Get { key }).unwrap();
+        }
+        assert_eq!(router.in_flight(), 32);
+        for key in 0..32u64 {
+            assert_eq!(router.collect(), Response::Value(Some(key + 100)));
+        }
+        assert_eq!(router.in_flight(), 0);
+        // Mixed point kinds pipeline too.
+        router.submit(&Request::Put { key: 900, value: 1 }).unwrap();
+        router.submit(&Request::Get { key: 900 }).unwrap();
+        router.submit(&Request::Delete { key: 900 }).unwrap();
+        assert_eq!(router.collect(), Response::Value(None));
+        assert_eq!(router.collect(), Response::Value(Some(1)));
+        assert_eq!(router.collect(), Response::Value(Some(1)));
+    }
+
+    #[test]
+    fn full_lane_sheds_with_overloaded() {
+        // One shard makes the target lane deterministic. `outstanding` is
+        // only released by collect(), so the cap is reached regardless of
+        // how fast the owner drains.
+        let service = KvService::new(1, 1, |_| {
+            let tree: ElimABTree = ElimABTree::new();
+            Box::new(tree)
+        });
+        let mut router = service.router();
+        for key in 0..LANE_CAPACITY as u64 {
+            router.submit(&Request::Get { key }).unwrap();
+        }
+        assert_eq!(
+            router.submit(&Request::Get { key: 9_999 }),
+            Err(Overloaded),
+            "the 65th in-flight request must be refused, not block"
+        );
+        assert_eq!(service.stats().shed(), 1);
+        assert!(Overloaded.to_string().contains("in flight"));
+        // Collecting frees the window again.
+        for _ in 0..LANE_CAPACITY {
+            assert_eq!(router.collect(), Response::Value(None));
+        }
+        router.submit(&Request::Get { key: 9_999 }).unwrap();
+        assert_eq!(router.collect(), Response::Value(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelined submissions are in flight")]
+    fn blocking_calls_refuse_to_overtake_the_pipeline() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        router.submit(&Request::Put { key: 1, value: 1 }).unwrap();
+        let _ = router.get(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "point requests only")]
+    fn batch_requests_cannot_be_pipelined() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        let _ = router.submit(&Request::MGet { keys: vec![1] });
+    }
+
+    #[test]
+    fn shutdown_joins_owners_and_is_idempotent() {
+        let mut service = two_shard_service();
+        {
+            let mut router = service.router();
+            router.put(1, 2);
+            // Leave a submission uncollected: the owner must drain it and
+            // discard the undeliverable reply once the router is gone.
+            router.submit(&Request::Put { key: 3, value: 4 }).unwrap();
+        }
+        assert!(!service.is_shut_down());
+        service.shutdown();
+        assert!(service.is_shut_down());
+        service.shutdown(); // idempotent
+        assert!(service.is_shut_down());
+        // Quiescent reads still work after shutdown.
+        assert!(service.key_sum() > 0);
+    }
+
+    #[test]
+    fn owners_record_queue_run_lengths() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        for key in 0..64u64 {
+            router.put(key, key);
+        }
+        let mut out = Vec::new();
+        router.mget(&(0..64u64).collect::<Vec<_>>(), &mut out);
+        drop(router);
+        let runs = service.run_length_histogram();
+        assert!(runs.count() > 0, "owners saw at least one drain run");
+        assert!(runs.p50().is_some());
     }
 
     #[test]

@@ -108,6 +108,21 @@ impl Histogram {
         }
     }
 
+    /// Folds `other`'s samples into `self`, bucket by bucket (saturating).
+    ///
+    /// This is how per-shard-worker histograms are aggregated without any
+    /// locking on the hot path: each shard owner records into its own
+    /// histogram with relaxed adds, and a reporting thread merges the
+    /// per-shard instances into a scratch histogram when asked.  The merge
+    /// itself is a racy-but-monotone snapshot, same contract as
+    /// [`count`](Self::count) under concurrent `record`s.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            let merged = (*mine.get_mut()).saturating_add(theirs.load(Ordering::Relaxed));
+            *mine.get_mut() = merged;
+        }
+    }
+
     /// Arithmetic mean of the recorded samples, approximated by bucket
     /// midpoints; 0 for an empty histogram.
     pub fn approx_mean(&self) -> f64 {
@@ -275,6 +290,10 @@ pub struct ServiceStats {
     pub scan_latency_ns: Histogram,
     /// Sizes (key counts) of batched requests.
     pub batch_size: Histogram,
+    /// Reads answered by a router's hot-key cache (no queue crossing).
+    cache_hits: AtomicU64,
+    /// Pipelined submissions refused with `Overloaded` (full shard lane).
+    shed: AtomicU64,
 }
 
 impl ServiceStats {
@@ -286,7 +305,32 @@ impl ServiceStats {
             batch_latency_ns: Histogram::new(),
             scan_latency_ns: Histogram::new(),
             batch_size: Histogram::new(),
+            cache_hits: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
+    }
+
+    #[inline]
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads (point gets and multi-get keys) answered by a router's hot-key
+    /// cache without crossing a shard lane.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Pipelined submissions refused with
+    /// [`Overloaded`](crate::service::Overloaded) because the target
+    /// shard's lane was at capacity.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Counters of shard `index` (panics if out of range).
@@ -334,6 +378,8 @@ impl ServiceStats {
         self.batch_latency_ns.reset();
         self.scan_latency_ns.reset();
         self.batch_size.reset();
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -425,18 +471,76 @@ mod tests {
     }
 
     #[test]
+    fn merge_folds_buckets_and_preserves_quantiles() {
+        let fast = Histogram::new();
+        for _ in 0..90 {
+            fast.record(100); // bucket 6, upper bound 127
+        }
+        let slow = Histogram::new();
+        for _ in 0..10 {
+            slow.record(1 << 20); // bucket 20
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&fast);
+        merged.merge(&slow);
+        assert_eq!(merged.count(), 100);
+        // The merged distribution is exactly the union: p50 from the fast
+        // source, p99 from the slow tail neither source had alone.
+        assert_eq!(merged.p50(), Some(127));
+        assert_eq!(merged.p99(), Some((1 << 21) - 1));
+        assert_eq!(fast.p99(), Some(127), "sources are untouched");
+        assert_eq!(slow.count(), 10);
+    }
+
+    #[test]
+    fn merge_with_empty_respects_the_option_api() {
+        // Merging empty histograms must not manufacture samples: the
+        // no-quantiles `None` state from PR 5 has to survive.
+        let mut merged = Histogram::new();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged.count(), 0);
+        assert_eq!(merged.p50(), None);
+        assert_eq!(merged.p99(), None);
+        // Empty + non-empty behaves like a copy.
+        let source = Histogram::new();
+        source.record(0);
+        source.record(u64::MAX);
+        merged.merge(&source);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.p50(), Some(1));
+        assert_eq!(merged.quantile(1.0), Some(u64::MAX), "saturated top bucket");
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut merged = Histogram::new();
+        merged.buckets[0].store(u64::MAX - 1, Ordering::Relaxed);
+        let source = Histogram::new();
+        source.record(0);
+        source.record(1);
+        merged.merge(&source);
+        assert_eq!(merged.buckets[0].load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let stats = ServiceStats::new(2, 2);
         stats.shard(0).record_get(true);
         stats.namespace(1).record_mput();
         stats.point_latency_ns.record(100);
         stats.batch_size.record(16);
+        stats.record_cache_hit();
+        stats.record_shed();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(stats.shed(), 1);
         stats.reset();
         assert_eq!(stats.total_ops(), 0);
         assert_eq!(stats.shard(0).hits(), 0);
         assert_eq!(stats.namespace(1).mputs(), 0);
         assert_eq!(stats.point_latency_ns.count(), 0);
         assert_eq!(stats.batch_size.count(), 0);
+        assert_eq!(stats.cache_hits(), 0);
+        assert_eq!(stats.shed(), 0);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! The shard-owner worker: one dedicated thread per shard, holding the
+//! shard's single long-lived [`abtree::MapHandle`].
+//!
+//! This is the thread-per-core-style half of the service refactor: instead
+//! of every router opening a session on every shard, each shard has exactly
+//! one owner thread that opens one handle for the shard's whole lifetime
+//! and executes *all* of its traffic.  Routers feed it through the SPSC
+//! lanes in [`crate::queue`] — one request/reply pair per router × shard —
+//! so the shard's EBR epoch, its tree's hot nodes and its stats stay on one
+//! core, and a drain of a lane executes a *run* of requests against the
+//! local handle with no per-request synchronization at all.
+//!
+//! ## Lane registry
+//!
+//! Routers come and go at any time, so each shard keeps a mutex-protected
+//! mailbox of newly opened lanes plus a generation counter
+//! ([`ShardState::lane_generation`]); the worker adopts pending lanes when
+//! the counter moves and prunes lanes whose router half is gone.  The mutex
+//! is touched only on router open — never on the request path.
+//!
+//! ## The version counter and the hot-key cache
+//!
+//! [`ShardState::version`] counts the shard's *state mutations*: the worker
+//! bumps it (SeqCst) after applying any operation that changed the map and
+//! before pushing that operation's reply.  Read replies carry the version
+//! observed at execution, which is exact because the owner thread is the
+//! only mutator.  A router's [`crate::cache::ReadCache`] entry `(key,
+//! value, version)` is therefore valid exactly while the shard's current
+//! version still equals the recorded one; because the bump happens before
+//! the write's reply is released, a cached read that validates against an
+//! un-bumped counter is *concurrent* with the in-flight write and may
+//! legally linearize before it.  No-op writes (an insert that found the key
+//! present, a delete that found nothing) leave both the state and the
+//! counter untouched, so a Zipf-hot key that absorbs failed inserts does
+//! not shed its cache entries.
+//!
+//! ## Idle protocol and shutdown
+//!
+//! An idle worker spins briefly, then publishes [`ShardState::idle`] and
+//! re-scans once before parking; producers unpark it only when the flag is
+//! up, so a busy shard never pays a syscall.  Dropping the
+//! [`crate::KvService`] raises [`ShardState::shutdown`], unparks everyone
+//! and joins the owners.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+
+use abtree::MapHandle;
+
+use crate::queue::{Consumer, Producer, PushError};
+use crate::service::ShardStore;
+use crate::stats::Histogram;
+
+/// One request handed to a shard owner. Batch jobs carry their sub-batch
+/// by value; the reply returns results the same way.
+pub(crate) enum ShardJob {
+    /// Point lookup.
+    Get { key: u64 },
+    /// Point insert-if-absent.
+    Put { key: u64, value: u64 },
+    /// Point removal.
+    Delete { key: u64 },
+    /// Range scan of the inclusive window `[lo, hi]` (pre-clamped by the
+    /// router via `abtree::scan_window`).
+    Range { lo: u64, hi: u64 },
+    /// Shard-local multi-get sub-batch.
+    GetBatch { keys: Vec<u64> },
+    /// Shard-local multi-put sub-batch.
+    PutBatch { pairs: Vec<(u64, u64)> },
+}
+
+/// The reply to one [`ShardJob`], in the same lane order. `version` is the
+/// shard's mutation counter observed at execution (post-bump for writes),
+/// which the router uses to stamp its hot-key cache entries.
+pub(crate) enum ShardReply {
+    /// Reply to the point jobs.
+    Value { value: Option<u64>, version: u64 },
+    /// Reply to `GetBatch`/`PutBatch`, values in sub-batch order.
+    Values { values: Vec<Option<u64>>, version: u64 },
+    /// Reply to `Range`: the entries stored in the window, in key order.
+    Entries { entries: Vec<(u64, u64)> },
+}
+
+/// The worker end of one router's lane pair.
+pub(crate) struct Lane {
+    pub(crate) jobs: Consumer<ShardJob>,
+    pub(crate) replies: Producer<ShardReply>,
+}
+
+/// Shared coordination state of one shard, owned by its [`ShardCell`].
+pub(crate) struct ShardState {
+    /// Mutation counter; see the module docs.
+    pub(crate) version: AtomicU64,
+    /// Mailbox of lanes opened by routers but not yet adopted by the worker.
+    pending_lanes: Mutex<Vec<Lane>>,
+    /// Bumped on every mailbox deposit; the worker re-checks the mailbox
+    /// only when it moves.
+    lane_generation: AtomicU64,
+    /// Raised by the worker just before parking; producers unpark only when
+    /// it is up.
+    idle: AtomicBool,
+    /// Raised by [`crate::KvService`] teardown.
+    shutdown: AtomicBool,
+    /// The owner thread, for unparking (set once at spawn).
+    owner: Mutex<Option<Thread>>,
+    /// Lengths of the runs the worker drains per lane visit — the
+    /// amortization the ownership model exists for.  Aggregated across
+    /// shards with [`Histogram::merge`].
+    pub(crate) run_length: Histogram,
+}
+
+impl ShardState {
+    pub(crate) fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            pending_lanes: Mutex::new(Vec::new()),
+            lane_generation: AtomicU64::new(0),
+            idle: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            owner: Mutex::new(None),
+            run_length: Histogram::new(),
+        }
+    }
+
+    /// Deposits a freshly opened lane for the worker to adopt and wakes it.
+    pub(crate) fn register_lane(&self, lane: Lane) {
+        self.pending_lanes.lock().expect("lane mailbox poisoned").push(lane);
+        self.lane_generation.fetch_add(1, Ordering::Release);
+        self.wake();
+    }
+
+    /// Records the owner thread handle; called once, right after spawn.
+    pub(crate) fn set_owner(&self, thread: Thread) {
+        *self.owner.lock().expect("owner slot poisoned") = Some(thread);
+    }
+
+    /// Unparks the owner if (and only if) it advertised itself idle.
+    pub(crate) fn wake(&self) {
+        if self.idle.load(Ordering::SeqCst) {
+            if let Some(owner) = self.owner.lock().expect("owner slot poisoned").as_ref() {
+                owner.unpark();
+            }
+        }
+    }
+
+    /// Raises the shutdown flag and wakes the owner unconditionally.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(owner) = self.owner.lock().expect("owner slot poisoned").as_ref() {
+            owner.unpark();
+        }
+    }
+
+    /// The shard's current mutation count (the validity stamp cached reads
+    /// compare against).
+    #[inline]
+    pub(crate) fn current_version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+}
+
+/// One shard: the store plus its coordination state. `Arc`-shared between
+/// the service (which also reads the store quiescently for key sums) and
+/// the owner thread.
+pub(crate) struct ShardCell {
+    pub(crate) store: Box<dyn ShardStore>,
+    pub(crate) state: ShardState,
+}
+
+/// How many consecutive empty scans the worker tolerates before it
+/// advertises idleness and parks.
+const IDLE_SPINS: u32 = 64;
+
+/// The shard-owner thread body: adopt lanes, drain them in runs, park when
+/// idle, exit on shutdown once every adopted lane is dead or drained.
+pub(crate) fn run_shard_owner(cell: Arc<ShardCell>) {
+    let state = &cell.state;
+    // The single long-lived session this whole design exists to create:
+    // opened on the owner thread, kept until shutdown.
+    let mut handle = cell.store.handle();
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut seen_generation = 0u64;
+    let mut quiet_scans = 0u32;
+    loop {
+        let generation = state.lane_generation.load(Ordering::Acquire);
+        if generation != seen_generation {
+            seen_generation = generation;
+            lanes.append(&mut state.pending_lanes.lock().expect("lane mailbox poisoned"));
+        }
+        let mut served = 0usize;
+        lanes.retain_mut(|lane| {
+            let mut run = 0u64;
+            while let Some(job) = lane.jobs.try_pop() {
+                let reply = execute(&mut *handle, state, job);
+                // The router bounds its in-flight requests by the lane
+                // capacity, so a live reply ring always has room; a
+                // disconnected one means the router is gone and the reply
+                // is undeliverable — drop it.
+                match lane.replies.try_push(reply) {
+                    Ok(()) | Err(PushError::Disconnected(_)) => {}
+                    Err(PushError::Full(_)) => {
+                        unreachable!("reply lane overflowed its in-flight cap")
+                    }
+                }
+                run += 1;
+            }
+            if run > 0 {
+                state.run_length.record(run);
+                served += run as usize;
+            }
+            // A lane is dead once its router dropped the producer half and
+            // every queued job has been drained.
+            !(lane.jobs.is_disconnected() && lane.jobs.is_empty())
+        });
+        if served > 0 {
+            quiet_scans = 0;
+            continue;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            // Shutdown requires exclusive service access, so no router (and
+            // no new lane) can exist; drained means done.
+            break;
+        }
+        quiet_scans += 1;
+        if quiet_scans < IDLE_SPINS {
+            std::hint::spin_loop();
+            continue;
+        }
+        // Publish idleness, then re-scan once: a producer that pushed
+        // before seeing the flag is caught by the re-scan, one that pushes
+        // after seeing it will unpark us.
+        state.idle.store(true, Ordering::SeqCst);
+        let work_arrived = lanes.iter().any(|lane| !lane.jobs.is_empty())
+            || state.lane_generation.load(Ordering::SeqCst) != seen_generation
+            || state.shutdown.load(Ordering::SeqCst);
+        if !work_arrived {
+            std::thread::park();
+        }
+        state.idle.store(false, Ordering::SeqCst);
+        quiet_scans = 0;
+    }
+}
+
+/// Executes one job against the owner's handle, maintaining the mutation
+/// counter (bump after apply, only on real mutations, always before the
+/// reply is pushed — see the module docs for why that order is the one
+/// that keeps cached reads linearizable).
+fn execute(handle: &mut dyn MapHandle, state: &ShardState, job: ShardJob) -> ShardReply {
+    match job {
+        ShardJob::Get { key } => {
+            let value = handle.get(key);
+            ShardReply::Value {
+                value,
+                version: state.version.load(Ordering::Relaxed),
+            }
+        }
+        ShardJob::Put { key, value } => {
+            let previous = handle.insert(key, value);
+            if previous.is_none() {
+                state.version.fetch_add(1, Ordering::SeqCst);
+            }
+            ShardReply::Value {
+                value: previous,
+                version: state.version.load(Ordering::Relaxed),
+            }
+        }
+        ShardJob::Delete { key } => {
+            let removed = handle.delete(key);
+            if removed.is_some() {
+                state.version.fetch_add(1, Ordering::SeqCst);
+            }
+            ShardReply::Value {
+                value: removed,
+                version: state.version.load(Ordering::Relaxed),
+            }
+        }
+        ShardJob::Range { lo, hi } => {
+            let mut entries = Vec::new();
+            handle.range(lo, hi, &mut entries);
+            ShardReply::Entries { entries }
+        }
+        ShardJob::GetBatch { keys } => {
+            let mut values = Vec::new();
+            handle.get_batch(&keys, &mut values);
+            ShardReply::Values {
+                values,
+                version: state.version.load(Ordering::Relaxed),
+            }
+        }
+        ShardJob::PutBatch { pairs } => {
+            let mut previous = Vec::new();
+            handle.insert_batch(&pairs, &mut previous);
+            // One bump covers the whole sub-batch: validity only needs the
+            // counter to move whenever the state did.
+            if previous.iter().any(|p| p.is_none()) {
+                state.version.fetch_add(1, Ordering::SeqCst);
+            }
+            ShardReply::Values {
+                values: previous,
+                version: state.version.load(Ordering::Relaxed),
+            }
+        }
+    }
+}

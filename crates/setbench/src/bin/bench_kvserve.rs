@@ -1,7 +1,8 @@
 //! Closed-loop load driver for the `kvserve` service layer.
 //!
-//! Two experiments, both emitting one JSON row per cell on stderr (the
-//! repository keeps a recorded run checked in as `BENCH_kvserve.json`):
+//! Three experiments, all emitting one JSON row per cell on stderr (the
+//! repository keeps recorded runs checked in as `BENCH_kvserve.json` and
+//! `BENCH_kvserve_saturation.json`):
 //!
 //! * `experiment = "kvserve"` — a multi-tenant service sweep: shard counts x
 //!   registry structures, driven by a two-level Zipfian workload
@@ -14,15 +15,24 @@
 //!   `mget` batches, and the two key throughputs are compared (the batched
 //!   path must win — it amortizes dispatch, latency sampling and stats over
 //!   the batch).
+//! * `experiment = "kvserve_saturation"` — the pipelining curve: each client
+//!   keeps a fixed window of point requests in flight through the router's
+//!   `submit`/`collect` interface, sweeping the window from 1 (the blocking
+//!   regime) to the lane capacity.  Throughput rises with the window as the
+//!   shard owners batch whatever has queued per wakeup, while p99 latency
+//!   climbs with queueing delay — the in-flight vs p99 saturation curve.
+//!   Shed submissions (full lane) are retried after collecting the oldest
+//!   reply and reported per cell.
 //!
 //! Usage:
 //!   cargo run -p setbench --release --bin bench_kvserve -- \[requests\] \[--threads N\]
 //!   cargo run -p setbench --release --bin bench_kvserve -- --smoke
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use kvserve::{KvService, Namespace, ShardStore};
+use kvserve::{KvService, Namespace, Request, Response, ShardStore};
 use rand::prelude::*;
 use setbench::make_structure;
 use workload::{Operation, OperationMix, TenantKeyDistribution};
@@ -229,6 +239,138 @@ fn mget_comparison(structure: &str, shards: usize, total_keys: u64, seed: u64) -
     )
 }
 
+/// Point-op kinds tracked by the saturation sweep's collection ledger.
+#[derive(Clone, Copy)]
+enum PointKind {
+    Get,
+    Put,
+    Delete,
+}
+
+/// Books one collected response against the key-sum ledger: inserts that
+/// took add the key, removals that hit subtract it.
+fn settle(response: Response, kind: PointKind, key: u64) -> i128 {
+    let Response::Value(previous) = response else {
+        unreachable!("point submissions produce point responses");
+    };
+    match kind {
+        PointKind::Put if previous.is_none() => key as i128,
+        PointKind::Delete if previous.is_some() => -(key as i128),
+        _ => 0,
+    }
+}
+
+/// The in-flight windows swept by the saturation experiment: 1 is the
+/// blocking regime (one request per lane round-trip), the top end is
+/// [`kvserve::LANE_CAPACITY`], where backpressure starts shedding.
+const SATURATION_WINDOWS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The saturation sweep: `threads` clients each keep `window` point
+/// requests in flight through `submit`/`collect`, for every window size.
+/// Emits one `kvserve_saturation` JSON row per window and validates the
+/// cross-shard key-sum after every phase.
+fn saturation_sweep(
+    structure: &str,
+    shards: usize,
+    threads: usize,
+    requests_per_window: u64,
+    keys_per_tenant: u64,
+    seed: u64,
+) {
+    let service = Arc::new(service_of(structure, shards));
+    let mut expected_sum = prefill(&service, keys_per_tenant, seed);
+    let dist = TenantKeyDistribution::new(TENANTS, 1.0, keys_per_tenant, 1.0);
+    println!();
+    println!(
+        "saturation ({structure}, {shards} shards, {threads} client threads, \
+         80% get / 15% put / 5% delete):"
+    );
+    println!(
+        "{:>9} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "in-flight", "requests/us", "p50(ns)", "p99(ns)", "cache-hits", "shed", "valid"
+    );
+    for &window in &SATURATION_WINDOWS {
+        service.stats().reset();
+        let started = Instant::now();
+        let mut net = 0i128;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for t in 0..threads as u64 {
+                let service = Arc::clone(&service);
+                let dist = dist.clone();
+                workers.push(scope.spawn(move || {
+                    let mut router = service.router();
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (0x5A7 + 31 * t) ^ ((window as u64) << 32));
+                    // FIFO ledger mirroring the router's pending window, so
+                    // each collected response can be booked against the
+                    // request that produced it.
+                    let mut ledger: VecDeque<(PointKind, u64)> = VecDeque::with_capacity(window);
+                    let mut net = 0i128;
+                    for _ in 0..requests_per_window {
+                        let (tenant, key) = dist.sample(&mut rng);
+                        let packed = Namespace::new(tenant).prefixed(key);
+                        let roll: u32 = rng.gen_range(0..100);
+                        let (kind, request) = if roll < 80 {
+                            (PointKind::Get, Request::Get { key: packed })
+                        } else if roll < 95 {
+                            (PointKind::Put, Request::Put { key: packed, value: 1 })
+                        } else {
+                            (PointKind::Delete, Request::Delete { key: packed })
+                        };
+                        while router.in_flight() >= window {
+                            let (k, key) = ledger.pop_front().expect("ledger tracks the window");
+                            net += settle(router.collect(), k, key);
+                        }
+                        // A shed means this client already fills the target
+                        // shard's lane: drain the oldest reply and retry.
+                        while router.submit(&request).is_err() {
+                            let (k, key) = ledger.pop_front().expect("ledger tracks the window");
+                            net += settle(router.collect(), k, key);
+                        }
+                        ledger.push_back((kind, packed));
+                    }
+                    while let Some((k, key)) = ledger.pop_front() {
+                        net += settle(router.collect(), k, key);
+                    }
+                    net
+                }));
+            }
+            for worker in workers {
+                net += worker.join().expect("saturation worker panicked");
+            }
+        });
+        let secs = started.elapsed().as_secs_f64();
+        expected_sum += net;
+        let validated = service.key_sum() as i128 == expected_sum;
+        let stats = service.stats();
+        let requests = requests_per_window * threads as u64;
+        println!(
+            "{:>9} {:>12.3} {:>10} {:>10} {:>12} {:>8} {:>8}",
+            window,
+            requests as f64 / secs / 1e6,
+            json_quantile(stats.point_latency_ns.p50()),
+            json_quantile(stats.point_latency_ns.p99()),
+            stats.cache_hits(),
+            stats.shed(),
+            if validated { "ok" } else { "FAIL" }
+        );
+        eprintln!(
+            "{{\"experiment\":\"kvserve_saturation\",\"structure\":\"{structure}\",\
+             \"shards\":{shards},\"threads\":{threads},\"in_flight\":{window},\
+             \"requests\":{requests},\"duration_secs\":{secs},\
+             \"request_mops\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"cache_hits\":{},\"shed\":{},\"validated\":{validated}}}",
+            requests as f64 / secs / 1e6,
+            json_quantile(stats.point_latency_ns.p50()),
+            json_quantile(stats.point_latency_ns.p99()),
+            stats.cache_hits(),
+            stats.shed(),
+        );
+        assert!(validated, "saturation key-sum validation failed at window {window}");
+    }
+}
+
 fn emit_cell_row(structure: &str, shards: usize, threads: usize, r: &CellResult, service: &KvService) {
     let stats = service.stats();
     let hit_rate = {
@@ -370,6 +512,21 @@ fn main() {
         assert!(
             batched > single,
             "batched mget ({batched:.3} keys/us) must beat single gets ({single:.3} keys/us)"
+        );
+    }
+
+    // The pipelining saturation curve (in-flight window vs throughput/p99),
+    // at both shard counts so the sharding payoff is visible in the same
+    // artifact.
+    let saturation_requests: u64 = if smoke { 8_000 } else { 100_000 };
+    for shards in shard_counts {
+        saturation_sweep(
+            "elim-abtree",
+            shards,
+            threads,
+            saturation_requests,
+            keys_per_tenant,
+            seed,
         );
     }
 }

@@ -143,10 +143,16 @@ pub fn run_ycsb_figure(
 }
 
 /// Figure 18: scan throughput under YCSB Workload E (95% scans / 5%
-/// inserts), sweeping the scan-length upper bound against the thread count
-/// for every volatile structure.  Structures without a native scan fall back
-/// to the default point-lookup loop, which is exactly the contrast the
-/// figure exists to show.
+/// inserts), sweeping the scan-length upper bound against the thread count.
+///
+/// Structures without a native scan ([`crate::ScanSupport::Fallback`]) are
+/// reported as `scan-unsupported` and **skipped**: their default `range` is
+/// one point probe per key in the window, so a "scan throughput" cell for
+/// them would record the point-lookup loop and silently fall off a cliff in
+/// the figure rather than measure anything scan-shaped.  Each skip prints a
+/// table note and emits a JSON row (`"skipped": "scan-unsupported"`) on
+/// stderr so the sweep's coverage stays explicit; no [`BenchResult`] is
+/// produced for skipped cells.
 pub fn run_scan_figure(
     records: u64,
     scan_lens: &[u64],
@@ -164,6 +170,18 @@ pub fn run_scan_figure(
             ),
         );
         for structure in structures {
+            if crate::registry::scan_support(structure)
+                .is_some_and(|support| !support.is_native())
+            {
+                println!(
+                    "  {structure}: scan-unsupported (point-probe fallback), skipped"
+                );
+                eprintln!(
+                    "{{\"experiment\": \"fig18\", \"structure\": \"{structure}\", \
+                     \"skipped\": \"scan-unsupported\"}}"
+                );
+                continue;
+            }
             for &t in threads {
                 let cfg = YcsbConfig {
                     structure: structure.clone(),
@@ -321,6 +339,18 @@ mod tests {
             assert!(r.scan_ops > 0, "{} completed no scans", r.structure);
             assert!(r.scan_ops <= r.total_ops);
         }
+    }
+
+    /// Fallback-scan structures must produce *no* fig18 row (not a garbage
+    /// point-probe row): the sweep reports them as scan-unsupported and
+    /// moves on.
+    #[test]
+    fn scan_figure_skips_fallback_structures() {
+        let structures = vec!["elim-abtree".to_string(), "catree".to_string()];
+        let results = run_scan_figure(500, &[8], &[1], Duration::from_millis(30), &structures);
+        assert_eq!(results.len(), 1, "the fallback structure is skipped");
+        assert_eq!(results[0].structure, "elim-abtree");
+        assert!(results[0].scan_ops > 0);
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub use harness::{
 };
 pub use registry::{
     descriptor, make_structure, names_in, native_scan_structures, persistent_structures,
-    scan_support, snapshot_scan_structures, structure_names, volatile_structures, Benchable,
-    ScanSupport,
+    scan_benchmark_structures, scan_support, snapshot_scan_structures, structure_names,
+    volatile_structures, Benchable, ScanSupport,
     StructureCategory, StructureDescriptor, STRUCTURES,
 };
 pub use report::{print_figure_header, print_result_row, BenchResult};

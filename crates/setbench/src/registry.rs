@@ -210,6 +210,20 @@ pub fn native_scan_structures() -> Vec<&'static str> {
         .collect()
 }
 
+/// Names of the volatile structures eligible for the scan figure (fig18):
+/// volatile *and* native-scan, in table order.  Structures whose scans fall
+/// back to per-key point probes ([`ScanSupport::Fallback`]) are excluded —
+/// a fallback "scan" measures the point-lookup loop, not a scan, and
+/// reporting it alongside real scan numbers is the garbage-data cliff the
+/// figure driver skips with a `scan-unsupported` note instead.
+pub fn scan_benchmark_structures() -> Vec<&'static str> {
+    STRUCTURES
+        .iter()
+        .filter(|d| d.category == StructureCategory::Volatile && d.scan.is_native())
+        .map(|d| d.name)
+        .collect()
+}
+
 /// Names of the structures whose scans are atomic snapshots, in table
 /// order — the set the `conctest` checker holds to joint scan atomicity.
 pub fn snapshot_scan_structures() -> Vec<&'static str> {
@@ -318,6 +332,11 @@ mod tests {
             snapshot_scan_structures(),
             vec!["elim-abtree", "occ-abtree", "p-elim-abtree", "p-occ-abtree"],
             "the set conctest checks for joint scan atomicity"
+        );
+        assert_eq!(
+            scan_benchmark_structures(),
+            vec!["elim-abtree", "occ-abtree", "lf-abtree(cow)", "skiplist-lazy"],
+            "the fig18-eligible set: volatile AND native-scan"
         );
         assert_eq!(scan_support("catree"), Some(ScanSupport::Fallback));
         assert_eq!(scan_support("elim-abtree"), Some(ScanSupport::Snapshot));

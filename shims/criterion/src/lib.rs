@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim exposes the
+//! small API subset the bench suite uses — groups, `BenchmarkId`,
+//! `Throughput`, `iter`/`iter_custom`, and the `criterion_group!` /
+//! `criterion_main!` macros — under the same crate name.  Swapping in the
+//! real crate is a one-line change in the workspace manifest.
+//!
+//! Measurement model: each benchmark is warmed up once, then run for a
+//! fixed number of timed samples; the mean per-iteration time (and derived
+//! throughput, when the group declared one) is printed in a
+//! criterion-flavoured one-line format.  No plots, no statistics beyond the
+//! mean, no baseline persistence — this shim exists so `cargo bench`
+//! produces comparable numbers offline, not to replicate criterion's
+//! analysis.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, same contract as
+/// `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement marker types (only wall-clock time is supported).
+pub mod measurement {
+    /// Wall-clock time measurement, the criterion default.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Declared per-iteration work, used to derive a throughput from the
+/// measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver; create one per process (the macros do, via
+/// `Criterion::default()`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    // Non-unit on purpose: `criterion_group!` expands to
+    // `Criterion::default()` inside consumer crates, which clippy's
+    // `default_constructed_unit_structs` would reject for a unit struct.
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+            throughput: None,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration, from
+/// [`Criterion::benchmark_group`].
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget (the shim warms up with a single sample, so
+    /// this only caps it).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the measurement budget (the shim runs `sample_size` samples, so
+    /// this only caps the total).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Declares the per-iteration work, enabling throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        // One untimed warm-up sample, bounded by the warm-up budget per the
+        // struct-level caveat.
+        let warm_up_started = Instant::now();
+        f(&mut bencher);
+        let _ = warm_up_started.elapsed().min(self.warm_up_time);
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let measurement_started = Instant::now();
+        for sample in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            iterations += bencher.iterations;
+            // Respect the measurement budget, but always take one sample.
+            if sample + 1 < self.sample_size && measurement_started.elapsed() > self.measurement_time
+            {
+                break;
+            }
+        }
+        let per_iter = total.as_secs_f64() / iterations.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:.3} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}  time: {:.3} ms/iter{rate}",
+            self.name,
+            per_iter * 1e3
+        );
+        self
+    }
+
+    /// Ends the group (the shim keeps no cross-group state).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations, keeping its output
+    /// alive through [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let started = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = started.elapsed();
+    }
+
+    /// Hands the iteration count to `routine`, which returns the measured
+    /// time itself (for setup-heavy benchmarks).
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iterations);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        // Warm-up sample + at least one timed sample.
+        assert!(runs >= 2);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_records_the_returned_duration() {
+        let mut bencher = Bencher {
+            iterations: 7,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter_custom(|iters| {
+            assert_eq!(iters, 7);
+            Duration::from_millis(3)
+        });
+        assert_eq!(bencher.elapsed, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("abtree", 8).to_string(), "abtree/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}
