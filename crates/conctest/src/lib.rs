@@ -47,6 +47,7 @@ pub mod history;
 #[cfg(feature = "torn-scan")]
 pub mod mutant;
 pub mod shrink;
+pub mod socket;
 
 pub use checker::{check, CheckConfig, Outcome, ViolationReport};
 pub use fuzz::{
@@ -57,6 +58,7 @@ pub use history::{Clock, History, OpKind, OpRecord, OpResult, Recorder, RouterRe
 #[cfg(feature = "torn-scan")]
 pub use mutant::TornScan;
 pub use shrink::{shrink_history, shrink_history_from, shrink_schedule};
+pub use socket::ClientRecorder;
 
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -18,6 +18,7 @@
 //!                 | 0x82 varint(n) opt*n                  -- Values
 //!                 | 0x83 varint(n) (varint varint)*n      -- Entries
 //!                 | 0x84                                  -- Overloaded
+//!                 | 0x85 varint(code)                     -- Error
 //! opt            := 0x00 | 0x01 varint(value)
 //! ```
 //!
@@ -277,6 +278,10 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
         }
         // Payload-free: the shed signal carries no data, only the tag.
         Response::Overloaded => out.push(0x84),
+        Response::Error { code } => {
+            out.push(0x85);
+            write_varint(out, *code);
+        }
     }
 }
 
@@ -304,6 +309,9 @@ fn decode_response(buf: &[u8], pos: &mut usize) -> Result<Response, CodecError> 
             Response::Entries(entries)
         }
         0x84 => Response::Overloaded,
+        0x85 => Response::Error {
+            code: read_varint(buf, pos)?,
+        },
         other => return Err(CodecError::BadTag(other)),
     })
 }
@@ -407,9 +415,13 @@ mod tests {
             Response::Values(vec![Some(1), None, Some(u64::MAX)]),
             Response::Entries(vec![(1, 2), (3, 4)]),
             Response::Overloaded,
+            Response::Error { code: 2 },
         ];
         encode_response_batch(&resps, &mut wire);
         assert_eq!(decode_response_batch(&wire).unwrap(), resps);
+        // An error frame is tag + code and nothing else.
+        encode_response_batch(&[Response::Error { code: 3 }], &mut wire);
+        assert_eq!(wire, vec![1, 0x85, 3]);
         // Overloaded is a bare tag: it must cost exactly one byte.
         encode_response_batch(&[Response::Overloaded], &mut wire);
         assert_eq!(wire, vec![1, 0x84]);

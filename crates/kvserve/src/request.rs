@@ -94,6 +94,15 @@ pub enum Response {
     /// [`crate::service::Overloaded`]).  A front-end answers with this
     /// instead of blocking its event loop; the client may retry.
     Overloaded,
+    /// A protocol-level failure: the server could not (or refused to)
+    /// serve the client's frame — a corrupt batch, an oversized length
+    /// prefix, a malformed frame header.  Carries a machine-readable
+    /// reason `code` (the `netserve` front end defines the codes it
+    /// sends); a server closes the connection after sending it.
+    Error {
+        /// Machine-readable reason code.
+        code: u64,
+    },
 }
 
 #[cfg(test)]

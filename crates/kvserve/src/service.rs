@@ -439,7 +439,13 @@ impl<'s> ShardRouter<'s> {
         let stats = service.stats();
         let shard = service.shard_of(key);
         let started = Instant::now();
-        if matches!(op, PointOp::Get) {
+        // The cache fast path answers at *submit* time against the shard's
+        // applied version — sound only while this router has nothing in
+        // flight on the shard.  An uncollected submission may be a write to
+        // this very key that the version counter cannot see yet, and a
+        // cached answer would jump it: the session would fail to read its
+        // own pipelined write.  Falling into the lane restores FIFO order.
+        if matches!(op, PointOp::Get) && self.lanes[shard].outstanding == 0 {
             let version = service.shard_state(shard).current_version();
             if let Some(cached) = self.cache.lookup(key, version) {
                 stats.record_cache_hit();
@@ -714,6 +720,64 @@ impl<'s> ShardRouter<'s> {
             out.push(self.execute(request));
         }
     }
+
+    /// Serves one decoded request batch the way a non-blocking front end
+    /// must: point requests ride the pipelined [`submit`](Self::submit) /
+    /// [`collect`](Self::collect) window (several in flight per shard at
+    /// once), and a submission the window refuses is answered with
+    /// [`Response::Overloaded`] in place — the request is shed, **never**
+    /// blocked on.  Scans and batches use the blocking calls (their shard
+    /// fan-out is already parallel), draining the window first so replies
+    /// cannot be misattributed.
+    ///
+    /// One response per request is pushed onto `responses` (cleared first),
+    /// in request order.  The pipeline is empty again when this returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pipelined submissions are already in flight.
+    pub fn serve_pipelined(&mut self, batch: &[Request], responses: &mut Vec<Response>) {
+        self.assert_unpipelined();
+        responses.clear();
+        responses.reserve(batch.len());
+        // Positions of pipelined requests whose placeholder response must
+        // be overwritten when the window is collected (submission order).
+        let mut pending: Vec<usize> = Vec::new();
+        fn flush(
+            router: &mut ShardRouter<'_>,
+            pending: &mut Vec<usize>,
+            responses: &mut [Response],
+        ) {
+            for &position in pending.iter() {
+                responses[position] = router.collect();
+            }
+            pending.clear();
+        }
+        for (position, request) in batch.iter().enumerate() {
+            match request {
+                Request::Get { .. } | Request::Put { .. } | Request::Delete { .. } => {
+                    match self.submit(request) {
+                        Ok(()) => {
+                            pending.push(position);
+                            // Placeholder; overwritten on flush.
+                            responses.push(Response::Overloaded);
+                        }
+                        // The lane is full: shed this request — the wire
+                        // answer the codec exists to carry — rather than
+                        // block the serving loop on a hot shard.
+                        Err(Overloaded) => responses.push(Response::Overloaded),
+                    }
+                }
+                other => {
+                    // Blocking calls must not overtake the window: drain
+                    // it, then serve the scan/batch.
+                    flush(self, &mut pending, responses);
+                    responses.push(self.execute(other));
+                }
+            }
+        }
+        flush(self, &mut pending, responses);
+    }
 }
 
 impl std::fmt::Debug for ShardRouter<'_> {
@@ -975,6 +1039,99 @@ mod tests {
         }
         router.submit(&Request::Get { key: 9_999 }).unwrap();
         assert_eq!(router.collect(), Response::Value(None));
+    }
+
+    #[test]
+    fn serve_pipelined_answers_in_request_order() {
+        let service = two_shard_service();
+        let mut router = service.router();
+        let batch = vec![
+            Request::Put { key: 1, value: 10 },
+            Request::Put { key: 2, value: 20 },
+            Request::Get { key: 1 },
+            // A blocking request mid-batch forces a window drain first.
+            Request::MGet { keys: vec![1, 2, 3] },
+            Request::Delete { key: 2 },
+            Request::Scan { lo: 1, len: 4 },
+        ];
+        let mut responses = Vec::new();
+        router.serve_pipelined(&batch, &mut responses);
+        assert_eq!(
+            responses,
+            vec![
+                Response::Value(None),
+                Response::Value(None),
+                Response::Value(Some(10)),
+                Response::Values(vec![Some(10), Some(20), None]),
+                Response::Value(Some(20)),
+                Response::Entries(vec![(1, 10)]),
+            ]
+        );
+        assert_eq!(router.in_flight(), 0, "the pipeline drains fully");
+    }
+
+    #[test]
+    fn serve_pipelined_sheds_with_overloaded_in_place() {
+        // One shard: every point request targets the same lane, so the
+        // 65th-and-later uncollected submissions in one frame must shed.
+        let service = KvService::new(1, 1, |_| {
+            let tree: ElimABTree = ElimABTree::new();
+            Box::new(tree)
+        });
+        let mut router = service.router();
+        // Distinct keys, so the read cache cannot absorb any of them.
+        let batch: Vec<Request> = (1..=LANE_CAPACITY as u64 + 8)
+            .map(|key| Request::Get { key })
+            .collect();
+        let mut responses = Vec::new();
+        router.serve_pipelined(&batch, &mut responses);
+        assert_eq!(responses.len(), batch.len());
+        let shed = responses
+            .iter()
+            .filter(|r| matches!(r, Response::Overloaded))
+            .count();
+        assert_eq!(shed, 8, "exactly the beyond-capacity tail is shed");
+        assert!(
+            responses[..LANE_CAPACITY]
+                .iter()
+                .all(|r| *r == Response::Value(None)),
+            "the in-window prefix is served normally"
+        );
+        assert_eq!(service.stats().shed(), 8);
+    }
+
+    #[test]
+    fn pipelined_get_reads_its_own_in_flight_put() {
+        // Regression: mget caches "absent" for missed keys, and the cache
+        // fast path used to answer a pipelined Get at submit time even
+        // while a Put of the same key sat uncollected in the lane — the
+        // applied-version check cannot see in-flight writes.  The session
+        // then failed to read its own write.
+        let service = KvService::new(1, 1, |_| {
+            let tree: ElimABTree = ElimABTree::new();
+            Box::new(tree)
+        });
+        let mut router = service.router();
+
+        // Seed the cache with key 7 -> absent.
+        let mut values = Vec::new();
+        router.mget(&[7], &mut values);
+        assert_eq!(values, vec![None]);
+
+        // Same frame: Put(7) then Get(7).  The Get must ride the lane
+        // behind the Put, not hit the stale cache entry.
+        let mut responses = Vec::new();
+        router.serve_pipelined(
+            &[
+                Request::Put { key: 7, value: 70 },
+                Request::Get { key: 7 },
+            ],
+            &mut responses,
+        );
+        assert_eq!(
+            responses,
+            vec![Response::Value(None), Response::Value(Some(70))]
+        );
     }
 
     #[test]

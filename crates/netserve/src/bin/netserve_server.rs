@@ -1,0 +1,221 @@
+//! A standalone netserve server over elim-abtree shards.
+//!
+//! ```text
+//! netserve_server [--addr HOST:PORT] [--shards N] [--reactors N] [--selftest]
+//! ```
+//!
+//! Default mode binds the address, prints it, and serves until stdin
+//! reaches EOF (so `netserve_server < /dev/null` starts, drains, and
+//! exits cleanly — handy under process supervisors and in scripts).
+//!
+//! `--selftest` is the CI smoke mode: bind an ephemeral loopback port,
+//! run a mixed workload from several client threads, then shut down
+//! gracefully and verify every in-flight frame was answered and every
+//! thread joined.  Exits non-zero on any failure.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kvserve::{KvService, Namespace, Request, Response};
+use netserve::{Client, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    reactors: usize,
+    selftest: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        shards: 4,
+        reactors: 2,
+        selftest: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--reactors" => {
+                args.reactors = value("--reactors")?
+                    .parse()
+                    .map_err(|e| format!("--reactors: {e}"))?
+            }
+            "--selftest" => args.selftest = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn service(shards: usize) -> Arc<KvService> {
+    Arc::new(KvService::new(shards, 4, |_| {
+        let tree: abtree::ElimABTree = abtree::ElimABTree::new();
+        Box::new(tree)
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("netserve_server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.selftest {
+        return selftest(args.shards, args.reactors);
+    }
+
+    let svc = service(args.shards);
+    let addr = match args.addr.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("netserve_server: bad --addr {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        addr,
+        reactors: args.reactors,
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::start(config, Arc::clone(&svc)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("netserve_server: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("netserve listening on {}", server.local_addr());
+
+    // Serve until stdin closes.
+    let mut sink = Vec::new();
+    let _ = std::io::Read::read_to_end(&mut std::io::stdin(), &mut sink);
+
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "served {} frames / {} requests over {} connections ({} protocol errors)",
+        stats.frames(),
+        stats.requests(),
+        stats.accepted(),
+        stats.protocol_errors()
+    );
+    ExitCode::SUCCESS
+}
+
+/// CI smoke test: mixed workload, graceful shutdown, drained responses.
+fn selftest(shards: usize, reactors: usize) -> ExitCode {
+    const CLIENTS: u64 = 8;
+    const FRAMES_PER_CLIENT: u64 = 200;
+
+    let svc = service(shards);
+    let config = ServerConfig {
+        reactors,
+        idle_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let mut server = match Server::start(config, Arc::clone(&svc)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("selftest: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|worker| {
+            std::thread::spawn(move || -> Result<u64, String> {
+                let tenant = Namespace::new((worker % 4) as u16);
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut answered = 0;
+                for i in 0..FRAMES_PER_CLIENT {
+                    let key = tenant.prefixed(worker * FRAMES_PER_CLIENT + i);
+                    let batch = [
+                        Request::Put { key, value: i },
+                        Request::Get { key },
+                        Request::Scan { lo: key, len: 4 },
+                        Request::MGet { keys: vec![key, key + 1] },
+                    ];
+                    let replies =
+                        client.call(&batch).map_err(|e| format!("call: {e}"))?;
+                    if replies.len() != batch.len() {
+                        return Err(format!(
+                            "{} replies to {} requests",
+                            replies.len(),
+                            batch.len()
+                        ));
+                    }
+                    if replies[1] != Response::Value(Some(i)) {
+                        return Err(format!("get after put answered {:?}", replies[1]));
+                    }
+                    answered += replies.len() as u64;
+                }
+                Ok(answered)
+            })
+        })
+        .collect();
+
+    let mut answered = 0;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(n)) => answered += n,
+            Ok(Err(e)) => {
+                eprintln!("selftest: client failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("selftest: client panicked");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    server.shutdown();
+    if !server.is_shut_down() {
+        eprintln!("selftest: server did not report shutdown");
+        return ExitCode::FAILURE;
+    }
+    let stats = server.stats();
+    let expected_frames = CLIENTS * FRAMES_PER_CLIENT;
+    let expected_requests = expected_frames * 4;
+    if stats.frames() != expected_frames || stats.requests() != expected_requests {
+        eprintln!(
+            "selftest: served {}/{} frames, {}/{} requests",
+            stats.frames(),
+            expected_frames,
+            stats.requests(),
+            expected_requests
+        );
+        return ExitCode::FAILURE;
+    }
+    if answered != expected_requests {
+        eprintln!("selftest: clients saw {answered}/{expected_requests} responses");
+        return ExitCode::FAILURE;
+    }
+    if stats.open_connections() != 0 {
+        eprintln!("selftest: {} connections leaked", stats.open_connections());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "selftest ok: {} clients x {} frames, {} requests, {} hwm pauses, graceful shutdown clean",
+        CLIENTS,
+        FRAMES_PER_CLIENT,
+        stats.requests(),
+        stats.hwm_pauses()
+    );
+    ExitCode::SUCCESS
+}

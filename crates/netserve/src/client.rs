@@ -1,0 +1,119 @@
+//! A blocking client for the netserve wire protocol.
+//!
+//! The protocol is strictly FIFO: every request frame produces exactly one
+//! response frame, in order.  [`Client::send`] and [`Client::recv`] are
+//! therefore independent halves — a caller may pipeline by sending several
+//! frames before receiving any ([`Client::in_flight`] tracks the gap), or
+//! use [`Client::call`] for the common lockstep case.
+//!
+//! The client runs its socket in blocking mode and is not `Sync`; use one
+//! client per thread (mirroring the service's one-router-per-client rule).
+
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use kvserve::codec::{decode_response_batch, encode_batch};
+use kvserve::{Request, Response};
+
+use crate::frame::{self, FrameDecoder};
+
+/// A blocking connection to a netserve [`Server`](crate::server::Server).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Response frames reassembled but not yet returned.
+    ready: VecDeque<Vec<u8>>,
+    read_buf: Vec<u8>,
+    payload: Vec<u8>,
+    wire: Vec<u8>,
+    in_flight: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an already-connected stream (left in blocking mode).
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(frame::MAX_RESPONSE_FRAME),
+            ready: VecDeque::new(),
+            read_buf: vec![0; 16 << 10],
+            payload: Vec::new(),
+            wire: Vec::new(),
+            in_flight: 0,
+        })
+    }
+
+    /// Sends one request batch as a single frame without waiting for the
+    /// response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is not wire-encodable (e.g. a reserved key) —
+    /// the same contract as [`kvserve::codec::encode_batch`].
+    pub fn send(&mut self, batch: &[Request]) -> io::Result<()> {
+        encode_batch(batch, &mut self.payload);
+        self.wire.clear();
+        frame::write_frame(&mut self.wire, &self.payload);
+        self.stream.write_all(&self.wire)?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Receives the next response frame (blocking), one [`Response`] per
+    /// request of the matching [`send`](Self::send).
+    ///
+    /// Server disconnection surfaces as `UnexpectedEof`; an undecodable
+    /// response as `InvalidData`.  A server rejecting the connection sends
+    /// a final frame of one [`Response::Error`] before closing — that
+    /// frame is returned normally.
+    pub fn recv(&mut self) -> io::Result<Vec<Response>> {
+        loop {
+            if let Some(payload) = self.ready.pop_front() {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                return decode_response_batch(&payload).map_err(|e| {
+                    io::Error::new(ErrorKind::InvalidData, format!("bad response batch: {e:?}"))
+                });
+            }
+            let mut frames = Vec::new();
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self
+                    .decoder
+                    .push(&self.read_buf[..n], &mut frames)
+                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+            self.ready.extend(frames);
+        }
+    }
+
+    /// [`send`](Self::send) + [`recv`](Self::recv) in lockstep.
+    pub fn call(&mut self, batch: &[Request]) -> io::Result<Vec<Response>> {
+        self.send(batch)?;
+        self.recv()
+    }
+
+    /// Frames sent whose responses have not been received yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The underlying stream (e.g. for `shutdown` or timeouts in tests).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

@@ -1,0 +1,87 @@
+//! Server-wide counters, updated lock-free by the reactor threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing what the front end has done so far.
+///
+/// All counters use relaxed atomics: they are observability, not
+/// synchronization, and individual reads may be mutually slightly stale.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    frames: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    hwm_pauses: AtomicU64,
+    hwm_resumes: AtomicU64,
+    idle_evictions: AtomicU64,
+    accept_pauses: AtomicU64,
+    drained_frames: AtomicU64,
+}
+
+macro_rules! counter {
+    ($(#[$doc:meta])* $get:ident, $bump:ident, $field:ident) => {
+        $(#[$doc])*
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+        pub(crate) fn $bump(&self, n: u64) {
+            self.$field.fetch_add(n, Ordering::Relaxed);
+        }
+    };
+}
+
+impl NetStats {
+    counter!(
+        /// Connections accepted from the listener.
+        accepted, add_accepted, accepted
+    );
+    counter!(
+        /// Connections closed, for any reason (peer hangup, protocol
+        /// error, idle eviction, shutdown).
+        closed, add_closed, closed
+    );
+    counter!(
+        /// Complete request frames served.
+        frames, add_frames, frames
+    );
+    counter!(
+        /// Individual requests decoded out of served frames.
+        requests, add_requests, requests
+    );
+    counter!(
+        /// Connections torn down for speaking the protocol wrong
+        /// (malformed frame header, oversized frame, corrupt batch).
+        protocol_errors, add_protocol_errors, protocol_errors
+    );
+    counter!(
+        /// Times a connection's write backlog crossed its high-water mark
+        /// and reading from it was paused.
+        hwm_pauses, add_hwm_pauses, hwm_pauses
+    );
+    counter!(
+        /// Times a paused connection drained below the low-water mark and
+        /// resumed reading.
+        hwm_resumes, add_hwm_resumes, hwm_resumes
+    );
+    counter!(
+        /// Connections evicted for exceeding the idle timeout.
+        idle_evictions, add_idle_evictions, idle_evictions
+    );
+    counter!(
+        /// Times the listener was unregistered under fd pressure
+        /// (`EMFILE`/`ENFILE`) and re-armed on a timer.
+        accept_pauses, add_accept_pauses, accept_pauses
+    );
+    counter!(
+        /// Frames that completed during graceful shutdown's final read
+        /// pass — work accepted before the shutdown and still honoured.
+        drained_frames, add_drained_frames, drained_frames
+    );
+
+    /// Connections currently open (accepted minus closed).
+    pub fn open_connections(&self) -> u64 {
+        self.accepted().saturating_sub(self.closed())
+    }
+}

@@ -1,0 +1,181 @@
+//! A single-level timer wheel for coarse connection deadlines.
+//!
+//! The reactor needs two kinds of timers — idle-connection eviction and
+//! accept-pressure retry — both coarse (tens of milliseconds is plenty)
+//! and both cheap to re-arm.  A hashed wheel fits: scheduling is O(1),
+//! and [`TimerWheel::advance`] only touches the slots the clock actually
+//! crossed.
+//!
+//! Time is a caller-supplied `u64` of milliseconds (the reactor uses
+//! milliseconds since its own start; tests use a fake clock), which keeps
+//! the wheel deterministic and free of `Instant` plumbing.
+//!
+//! Cancellation is **lazy**: the wheel never removes an entry early.
+//! Owners keep their authoritative deadline next to the resource and, when
+//! a stale entry fires, simply re-schedule it — so each connection has at
+//! most one live wheel entry, re-armed at fire time rather than on every
+//! byte of traffic.
+
+/// A fixed-size hashed timer wheel over `(deadline_ms, token)` entries.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<(u64, usize)>>,
+    slot_ms: u64,
+    /// The time of the last `advance`; entries are never scheduled at or
+    /// before it.
+    cursor: u64,
+    entries: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slot_count` slots, each `slot_ms` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_ms` is zero or `slot_count` is zero.
+    pub fn new(slot_ms: u64, slot_count: usize) -> Self {
+        assert!(slot_ms > 0 && slot_count > 0, "degenerate wheel");
+        Self {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            slot_ms,
+            cursor: 0,
+            entries: 0,
+        }
+    }
+
+    /// Live (unexpired) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Schedules `token` to fire once `advance` reaches `deadline_ms`.
+    ///
+    /// Deadlines at or before the current cursor are clamped just past it,
+    /// so they fire on the next `advance` rather than waiting for a full
+    /// wheel revolution.
+    pub fn schedule(&mut self, deadline_ms: u64, token: usize) {
+        let deadline = deadline_ms.max(self.cursor + 1);
+        let slot = (deadline / self.slot_ms) as usize % self.slots.len();
+        self.slots[slot].push((deadline, token));
+        self.entries += 1;
+    }
+
+    /// Moves the wheel to `now_ms`, appending every token whose deadline
+    /// has passed to `expired`.  A `now_ms` behind the cursor is a no-op
+    /// (the wheel's clock never runs backwards).
+    pub fn advance(&mut self, now_ms: u64, expired: &mut Vec<usize>) {
+        if now_ms < self.cursor || self.entries == 0 {
+            self.cursor = self.cursor.max(now_ms);
+            return;
+        }
+        let already_out = expired.len();
+        let start = (self.cursor / self.slot_ms) as usize;
+        let end = (now_ms / self.slot_ms) as usize;
+        // Crossing more than a full revolution means every slot is due a
+        // look; more than one pass would only rescan them.
+        let span = (end - start + 1).min(self.slots.len());
+        let slot_count = self.slots.len();
+        for i in 0..span {
+            let slot = &mut self.slots[(start + i) % slot_count];
+            slot.retain(|&(deadline, token)| {
+                if deadline <= now_ms {
+                    expired.push(token);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.entries -= expired.len() - already_out;
+        self.cursor = now_ms;
+    }
+
+    /// The earliest scheduled deadline, if any — what a reactor sleeps
+    /// until.  O(entries); called once per loop iteration.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|&(deadline, _)| deadline)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_under_a_fake_clock() {
+        let mut wheel = TimerWheel::new(10, 16);
+        wheel.schedule(35, 1);
+        wheel.schedule(12, 2);
+        wheel.schedule(1000, 3);
+        assert_eq!(wheel.len(), 3);
+        assert_eq!(wheel.next_deadline(), Some(12));
+
+        let mut fired = Vec::new();
+        wheel.advance(11, &mut fired);
+        assert!(fired.is_empty());
+        wheel.advance(40, &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, [1, 2]);
+        assert_eq!(wheel.next_deadline(), Some(1000));
+
+        // A jump across many revolutions still finds the far entry.
+        fired.clear();
+        wheel.advance(100_000, &mut fired);
+        assert_eq!(fired, [3]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let mut wheel = TimerWheel::new(10, 8);
+        let mut fired = Vec::new();
+        wheel.advance(500, &mut fired);
+        // Deadline already in the past: clamped, not lost.
+        wheel.schedule(100, 7);
+        wheel.advance(501, &mut fired);
+        assert_eq!(fired, [7]);
+    }
+
+    #[test]
+    fn lazy_reschedule_models_idle_extension() {
+        // The reactor's idle-eviction pattern: the wheel entry fires at the
+        // *original* deadline, the owner notices the connection was active
+        // since and re-schedules at its authoritative deadline.
+        let mut wheel = TimerWheel::new(5, 32);
+        wheel.schedule(50, 9);
+        let authoritative = 80u64; // connection saw traffic at t=30
+
+        let mut fired = Vec::new();
+        wheel.advance(60, &mut fired);
+        assert_eq!(fired, [9]);
+        // Stale: re-arm.
+        wheel.schedule(authoritative, 9);
+
+        fired.clear();
+        wheel.advance(79, &mut fired);
+        assert!(fired.is_empty());
+        wheel.advance(80, &mut fired);
+        assert_eq!(fired, [9]);
+    }
+
+    #[test]
+    fn clock_never_runs_backwards() {
+        let mut wheel = TimerWheel::new(10, 8);
+        let mut fired = Vec::new();
+        wheel.advance(100, &mut fired);
+        wheel.schedule(110, 1);
+        wheel.advance(50, &mut fired); // ignored
+        assert!(fired.is_empty());
+        wheel.advance(110, &mut fired);
+        assert_eq!(fired, [1]);
+    }
+}

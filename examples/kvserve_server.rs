@@ -1,17 +1,21 @@
-//! An in-process key-value "server" built from std only: client threads
+//! The **in-process** variant of the key-value server: client threads
 //! encode request batches with the `kvserve` wire codec and send them over
 //! `mpsc` channels to server workers, each of which owns one `ShardRouter`
-//! over a shared 4-shard service.  Each shard is owned by its own dedicated
-//! service thread holding the shard's single long-lived engine session; the
-//! routers feed those owners through bounded SPSC lanes.  Every client is a
-//! tenant: its keys live under its own namespace prefix, so tenants never
-//! collide and the final per-tenant stats show exactly who sent what.
+//! over a shared 4-shard service.  The same scenario served over a real TCP
+//! socket — epoll reactor, pipelined connections, graceful shutdown —
+//! lives in `examples/netserve_server.rs`; this variant keeps the full
+//! codec-to-router path with zero kernel involvement, which makes it the
+//! baseline for quantifying socket overhead.
 //!
-//! The server workers demonstrate both router interfaces: point requests
-//! ride the pipelined `submit`/`collect` window (several in flight per
-//! shard at once), and a full lane surfaces as the codec's `Overloaded`
-//! response instead of blocking the serving loop; scans and batches use the
-//! blocking calls, whose shard fan-out is already parallel.
+//! Each shard is owned by its own dedicated service thread holding the
+//! shard's single long-lived engine session; the routers feed those owners
+//! through bounded SPSC lanes.  Every client is a tenant: its keys live
+//! under its own namespace prefix, so tenants never collide and the final
+//! per-tenant stats show exactly who sent what.  Batches are served with
+//! `ShardRouter::serve_pipelined` — the same entry point the netserve
+//! reactor bridges to — so point requests overlap across shard lanes and a
+//! full lane surfaces as the codec's `Overloaded` response instead of
+//! blocking the serving loop.
 //!
 //! Run with: `cargo run --release --example kvserve_server`
 
@@ -20,50 +24,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use elim_abtree_repro::abtree::ElimABTree;
 use elim_abtree_repro::kvserve::{
     decode_batch, decode_response_batch, encode_batch, encode_response_batch, KvService,
-    Namespace, Request, Response, ShardRouter,
+    Namespace, Request, Response,
 };
 
 /// One request frame: the encoded batch plus the channel to answer on.
 type Frame = (Vec<u8>, mpsc::Sender<Vec<u8>>);
-
-/// Serves one decoded batch, pipelining point requests and answering a
-/// refused (overloaded) submission with [`Response::Overloaded`] in place.
-fn serve_batch(router: &mut ShardRouter<'_>, batch: &[Request], responses: &mut Vec<Response>) {
-    responses.clear();
-    // Indices of pipelined requests whose placeholder response must be
-    // overwritten when the window is collected (in submission order).
-    let mut pending = Vec::new();
-    let flush = |router: &mut ShardRouter<'_>, pending: &mut Vec<usize>, responses: &mut Vec<Response>| {
-        for &position in pending.iter() {
-            responses[position] = router.collect();
-        }
-        pending.clear();
-    };
-    for (position, request) in batch.iter().enumerate() {
-        match request {
-            Request::Get { .. } | Request::Put { .. } | Request::Delete { .. } => {
-                match router.submit(request) {
-                    Ok(()) => {
-                        pending.push(position);
-                        // Placeholder; overwritten on flush.
-                        responses.push(Response::Overloaded);
-                    }
-                    // The lane is full: shed this request — the wire answer
-                    // the codec exists to carry — rather than block the
-                    // serving loop on a hot shard.
-                    Err(_) => responses.push(Response::Overloaded),
-                }
-            }
-            other => {
-                // Blocking calls must not overtake the window: drain it,
-                // then serve the scan/batch (its fan-out is parallel).
-                flush(router, &mut pending, responses);
-                responses.push(router.execute(other));
-            }
-        }
-    }
-    flush(router, &mut pending, responses);
-}
 
 const TENANTS: u16 = 4;
 const SERVER_WORKERS: usize = 2;
@@ -100,7 +65,7 @@ fn main() {
                     // in-process clients a bad frame is a bug, so panic; a
                     // network server would answer with an error frame.
                     let batch = decode_batch(&bytes).expect("client sent a corrupt frame");
-                    serve_batch(&mut router, &batch, &mut responses);
+                    router.serve_pipelined(&batch, &mut responses);
                     encode_response_batch(&responses, &mut wire);
                     // A closed reply channel just means the client is gone.
                     let _ = reply_tx.send(wire.clone());

@@ -1,0 +1,624 @@
+//! Offline shim for a minimal readiness-polling API (in the spirit of the
+//! `polling` crate, same crate name so swapping in the real package is a
+//! one-line workspace change).
+//!
+//! The build environment has no crates.io access, so this is written
+//! against raw OS facilities only: non-blocking file descriptors from
+//! `std::net`, plus direct `extern "C"` bindings to the handful of
+//! syscalls an event loop needs.  Two backends share one API:
+//!
+//! * **epoll** (Linux, the default): `epoll_create1`/`epoll_ctl`/
+//!   `epoll_wait`, level-triggered.  Level triggering keeps the consumer's
+//!   state machine simple — a connection that still has unread bytes or an
+//!   unflushed write buffer is re-reported on the next wait, so a missed
+//!   drain is a wasted wakeup rather than a lost connection.
+//! * **poll(2)** (any unix; forced on Linux with the `force-poll` feature
+//!   so CI can exercise it): the registration table lives in a mutex and a
+//!   fresh `pollfd` array is built per wait.  O(n) per wait, which is the
+//!   accepted cost of the portable fallback.
+//!
+//! Cross-thread wakeups use the classic self-pipe trick: [`Poller::notify`]
+//! writes one byte into a non-blocking pipe whose read end is registered
+//! under a reserved key; [`Poller::wait`] drains it and never reports it as
+//! an event.
+//!
+//! One thread waits, any thread may `add`/`modify`/`delete`/`notify`.
+//! (Concurrent waiters are not supported — the epoll backend would wake an
+//! arbitrary one and the poll backend's registration snapshot would race —
+//! matching how a thread-per-reactor server uses one `Poller` per thread.)
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// The key [`Poller`] reserves for its internal notify pipe.  `add` rejects
+/// it; `wait` never reports it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// One readiness event: the registration `key` and which directions are
+/// ready.  Hangups and errors are reported as *both* readable and writable
+/// so the consumer discovers them from the failing `read`/`write` itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the file descriptor was registered under.
+    pub key: usize,
+    /// The descriptor is ready for reading (or has hung up).
+    pub readable: bool,
+    /// The descriptor is ready for writing (or has errored).
+    pub writable: bool,
+}
+
+#[allow(dead_code)] // each backend uses its half of the surface
+mod sys {
+    //! The raw syscall surface, kept to the minimum an event loop needs.
+    use std::os::raw::{c_int, c_void};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+    pub const O_NONBLOCK: c_int = 0o4000;
+
+    /// `struct epoll_event`; packed on x86-64, where the kernel ABI demands
+    /// the 12-byte layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+}
+
+/// Converts a `-1` syscall return into the thread's `errno` as an
+/// [`io::Error`].
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A non-blocking self-pipe: the cross-thread wakeup channel of both
+/// backends.
+struct NotifyPipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl NotifyPipe {
+    fn new() -> io::Result<Self> {
+        let mut fds = [0i32; 2];
+        cvt(unsafe { sys::pipe(fds.as_mut_ptr()) })?;
+        for fd in fds {
+            let flags = cvt(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+            cvt(unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) })?;
+        }
+        Ok(Self {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// Makes the pipe readable.  A full pipe means a wakeup is already
+    /// pending, which is all a notification needs to guarantee.
+    fn notify(&self) -> io::Result<()> {
+        let byte = 1u8;
+        let ret = unsafe { sys::write(self.write_fd, (&raw const byte).cast(), 1) };
+        if ret < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Swallows every pending wakeup byte.
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let ret = unsafe { sys::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if ret <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for NotifyPipe {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever,
+/// sub-millisecond waits round **up** so a short timeout cannot spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis().min(i32::MAX as u128) as i32;
+            if ms == 0 && t.as_nanos() > 0 {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", not(feature = "force-poll")))]
+mod backend {
+    //! The epoll backend: the kernel holds the interest table.
+    use super::*;
+
+    pub struct Backend {
+        epfd: RawFd,
+        pipe: NotifyPipe,
+    }
+
+    fn interest_bits(readable: bool, writable: bool) -> u32 {
+        let mut events = sys::EPOLLRDHUP;
+        if readable {
+            events |= sys::EPOLLIN;
+        }
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Self> {
+            let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+            let pipe = NotifyPipe::new()?;
+            let backend = Self { epfd, pipe };
+            backend.ctl(
+                sys::EPOLL_CTL_ADD,
+                backend.pipe.read_fd,
+                NOTIFY_KEY,
+                sys::EPOLLIN,
+            )?;
+            Ok(backend)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, key: usize, events: u32) -> io::Result<()> {
+            let mut event = sys::EpollEvent {
+                events,
+                data: key as u64,
+            };
+            cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) })?;
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_ADD, fd, key, interest_bits(readable, writable))
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_MOD, fd, key, interest_bits(readable, writable))
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            const CAPACITY: usize = 256;
+            let mut raw = [sys::EpollEvent { events: 0, data: 0 }; CAPACITY];
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    CAPACITY as i32,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                // A signal is not an error for the loop; report "no events"
+                // and let the caller's next iteration recompute timeouts.
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for entry in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = entry.events;
+                let key = entry.data as usize;
+                if key == NOTIFY_KEY {
+                    self.pipe.drain();
+                    continue;
+                }
+                let failed = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 || failed,
+                    writable: bits & sys::EPOLLOUT != 0 || failed,
+                });
+            }
+            Ok(())
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            self.pipe.notify()
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            unsafe {
+                sys::close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(any(not(target_os = "linux"), feature = "force-poll"))]
+mod backend {
+    //! The portable poll(2) backend: the interest table lives in userspace
+    //! and a fresh `pollfd` array is built per wait.
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Clone, Copy)]
+    struct Registration {
+        fd: RawFd,
+        key: usize,
+        readable: bool,
+        writable: bool,
+    }
+
+    pub struct Backend {
+        registrations: Mutex<Vec<Registration>>,
+        pipe: NotifyPipe,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                registrations: Mutex::new(Vec::new()),
+                pipe: NotifyPipe::new()?,
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            let mut table = self.registrations.lock().unwrap();
+            if table.iter().any(|r| r.fd == fd) {
+                return Err(io::Error::from_raw_os_error(17 /* EEXIST */));
+            }
+            table.push(Registration {
+                fd,
+                key,
+                readable,
+                writable,
+            });
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut table = self.registrations.lock().unwrap();
+            let slot = table
+                .iter_mut()
+                .find(|r| r.fd == fd)
+                .ok_or_else(|| io::Error::from_raw_os_error(2 /* ENOENT */))?;
+            *slot = Registration {
+                fd,
+                key,
+                readable,
+                writable,
+            };
+            Ok(())
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut table = self.registrations.lock().unwrap();
+            let before = table.len();
+            table.retain(|r| r.fd != fd);
+            if table.len() == before {
+                return Err(io::Error::from_raw_os_error(2 /* ENOENT */));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            // Snapshot the table so `notify`/`add` from other threads never
+            // deadlock against a parked wait; registration changes land on
+            // the next wait, which the notify pipe can force immediately.
+            let snapshot: Vec<Registration> = self.registrations.lock().unwrap().clone();
+            let mut fds: Vec<sys::PollFd> = Vec::with_capacity(snapshot.len() + 1);
+            fds.push(sys::PollFd {
+                fd: self.pipe.read_fd,
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for reg in &snapshot {
+                let mut bits = 0i16;
+                if reg.readable {
+                    bits |= sys::POLLIN;
+                }
+                if reg.writable {
+                    bits |= sys::POLLOUT;
+                }
+                fds.push(sys::PollFd {
+                    fd: reg.fd,
+                    events: bits,
+                    revents: 0,
+                });
+            }
+            let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            if fds[0].revents != 0 {
+                self.pipe.drain();
+            }
+            for (slot, reg) in fds[1..].iter().zip(&snapshot) {
+                let bits = slot.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let failed = bits & (sys::POLLERR | sys::POLLHUP) != 0;
+                events.push(Event {
+                    key: reg.key,
+                    readable: bits & sys::POLLIN != 0 || failed,
+                    writable: bits & sys::POLLOUT != 0 || failed,
+                });
+            }
+            Ok(())
+        }
+
+        pub fn notify(&self) -> io::Result<()> {
+            self.pipe.notify()
+        }
+    }
+}
+
+/// A readiness poller over non-blocking file descriptors.
+///
+/// Register descriptors with [`add`](Self::add) under a caller-chosen
+/// `key`, change interest with [`modify`](Self::modify), and block in
+/// [`wait`](Self::wait) for readiness.  [`notify`](Self::notify) wakes a
+/// blocked `wait` from any thread.  Registered descriptors must outlive
+/// their registration (call [`delete`](Self::delete) before closing them;
+/// the epoll backend tolerates a missed delete, the poll backend does not).
+pub struct Poller {
+    backend: backend::Backend,
+}
+
+impl Poller {
+    /// Creates a poller (and its internal notify pipe).
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            backend: backend::Backend::new()?,
+        })
+    }
+
+    /// Registers `fd` under `key` with the given interest.  Fails on a
+    /// double registration, or if `key` is the reserved [`NOTIFY_KEY`].
+    pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for the notify pipe",
+            ));
+        }
+        self.backend.add(fd, key, readable, writable)
+    }
+
+    /// Replaces the interest (and key) of a registered `fd`.
+    pub fn modify(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        self.backend.modify(fd, key, readable, writable)
+    }
+
+    /// Removes `fd`'s registration.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is ready, the
+    /// timeout elapses (`None` = forever), or [`notify`](Self::notify) is
+    /// called; ready descriptors are appended to `events` (which is **not**
+    /// cleared).  Spurious empty returns are allowed (notify wakeups,
+    /// signals) — callers must treat "no events" as a normal iteration.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.backend.wait(events, timeout)
+    }
+
+    /// Wakes the waiting thread (idempotent while a wakeup is pending).
+    pub fn notify(&self) -> io::Result<()> {
+        self.backend.notify()
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readiness_round_trip() {
+        let poller = Poller::new().unwrap();
+        let (mut client, mut server) = pair();
+        poller.add(server.as_raw_fd(), 7, true, false).unwrap();
+
+        // Nothing to read yet: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 2);
+
+        // Level-triggered: drained socket stops reporting.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Write interest on an idle socket reports immediately.
+        poller
+            .modify(server.as_raw_fd(), 7, true, true)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 7 && e.writable));
+
+        poller.delete(server.as_raw_fd()).unwrap();
+        client.write_all(b"!").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "deleted fds report nothing");
+    }
+
+    #[test]
+    fn notify_wakes_a_parked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let started = Instant::now();
+        let mut events = Vec::new();
+        // Infinite timeout: only the notify can end this wait.
+        poller.wait(&mut events, None).unwrap();
+        assert!(events.is_empty(), "the notify pipe is not an event");
+        assert!(started.elapsed() < Duration::from_secs(10));
+        handle.join().unwrap();
+        // Pending wakeups collapse: many notifies, one (drained) wakeup.
+        for _ in 0..100 {
+            poller.notify().unwrap();
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable() {
+        let poller = Poller::new().unwrap();
+        let (client, server) = pair();
+        poller.add(server.as_raw_fd(), 3, true, false).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.key == 3 && e.readable),
+            "hangup must surface as readable (read returns 0): {events:?}"
+        );
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let poller = Poller::new().unwrap();
+        let (_client, server) = pair();
+        assert!(poller
+            .add(server.as_raw_fd(), NOTIFY_KEY, true, false)
+            .is_err());
+        assert!(format!("{poller:?}").contains("Poller"));
+    }
+}

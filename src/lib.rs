@@ -8,6 +8,7 @@ pub use abtree;
 pub use baselines;
 pub use conctest;
 pub use kvserve;
+pub use netserve;
 pub use pabtree;
 pub use setbench;
 pub use workload;
