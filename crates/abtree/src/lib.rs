@@ -308,6 +308,29 @@ impl<M: KeySum + ?Sized> KeySum for Box<M> {
     }
 }
 
+/// A shared-ownership map: wraps an `Arc` so an embedder can hand clones
+/// of one tree to a service shard factory while retaining its own handle
+/// for restart and recovery (the durable-shard pattern).  A deliberate
+/// newtype rather than a blanket `impl ConcurrentMap for Arc<M>`: the
+/// blanket impl's `handle()` would shadow concrete trees' inherent
+/// sessions behind every `Arc`, silently boxing monomorphized handles.
+pub struct SharedMap<M: ?Sized>(pub std::sync::Arc<M>);
+
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for SharedMap<M> {
+    fn handle(&self) -> Box<dyn MapHandle + '_> {
+        self.0.handle()
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+impl<M: KeySum + ?Sized> KeySum for SharedMap<M> {
+    fn key_sum(&self) -> u128 {
+        self.0.key_sum()
+    }
+}
+
 /// Boxed sessions are sessions too, so `Box<dyn MapHandle>` (what
 /// [`ConcurrentMap::handle`] returns) can flow into generic code written
 /// against `H: MapHandle`.

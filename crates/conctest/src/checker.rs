@@ -54,6 +54,21 @@
 //!    (linearized-set + state) so equivalent interleavings are pruned, and
 //!    giving up with [`Outcome::Bounded`] after a configurable number of
 //!    apply attempts so an adversarial history cannot hang the harness.
+//!
+//! # Durable histories
+//!
+//! Histories recorded against crashkv's durable service contain
+//! crash-aborted operations ([`OpResult::Aborted`]): the shard crashed
+//! before the covering group fence, so the client never got a result.
+//! Durable linearizability gives such a write exactly two legal fates —
+//! linearize at the crash (inside its recorded interval) or vanish — and
+//! forbids flicker (absent, then present).  The checker models this with
+//! *optional* actions: an aborted write decomposes to a
+//! `Action::MaybeWrite`/`Action::MaybeRemove` the search may either
+//! apply or explicitly discard at its linearization slot, while an aborted
+//! read decomposes to nothing.  Acked operations stay mandatory, so a
+//! recovered image missing an acknowledged write is still a violation —
+//! that is precisely the durability contract.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -155,6 +170,14 @@ enum Action {
         hi: u64,
         entries: Vec<(u64, u64)>,
     },
+    /// An **unacknowledged** insert (its shard crashed before the covering
+    /// durability fence): it either linearizes at the crash — as an
+    /// insert-if-absent whose return nobody saw — or vanishes.  Optional:
+    /// the search may leave it unlinearized.
+    MaybeWrite { key: u64, value: u64 },
+    /// An unacknowledged delete: removes the key if present when (and if)
+    /// it linearizes.  Optional, like [`Action::MaybeWrite`].
+    MaybeRemove { key: u64 },
 }
 
 impl Action {
@@ -168,7 +191,17 @@ impl Action {
             Action::Remove { key, removed } => format!("delete({key}) -> {removed:?}"),
             Action::Read { key, value } => format!("read({key}) -> {value:?}"),
             Action::Snap { lo, hi, entries } => format!("snapshot({lo}..={hi}) -> {entries:?}"),
+            Action::MaybeWrite { key, value } => {
+                format!("unacked insert({key}, {value})")
+            }
+            Action::MaybeRemove { key } => format!("unacked delete({key})"),
         }
+    }
+
+    /// Whether the action **must** linearize.  Unacked crash-window writes
+    /// are optional: durable linearizability lets them vanish.
+    fn mandatory(&self) -> bool {
+        !matches!(self, Action::MaybeWrite { .. } | Action::MaybeRemove { .. })
     }
 }
 
@@ -228,6 +261,21 @@ fn try_apply(state: &mut BTreeMap<u64, u64>, action: &Action) -> Option<Undo> {
             _ => None,
         },
         Action::Read { key, value } => (state.get(key).copied() == *value).then_some(Undo::None),
+        // Unacked operations returned nothing to constrain against: when
+        // chosen, they apply unconditionally (insert-if-absent / remove-if-
+        // present semantics) and always succeed.
+        Action::MaybeWrite { key, value } => {
+            if state.contains_key(key) {
+                Some(Undo::None)
+            } else {
+                state.insert(*key, *value);
+                Some(Undo::Inserted(*key))
+            }
+        }
+        Action::MaybeRemove { key } => match state.remove(key) {
+            Some(value) => Some(Undo::Removed(*key, value)),
+            None => Some(Undo::None),
+        },
         Action::Snap { lo, hi, entries } => {
             let window: Vec<(u64, u64)> = state
                 .range(*lo..=*hi)
@@ -447,6 +495,27 @@ fn decompose(history: &History, config: &CheckConfig) -> Vec<Component> {
                     push(&mut uf, key, Action::Write { key, value, prior });
                 }
             }
+            // Crash-aborted operations (durable histories).  An unacked
+            // write may have linearized at the crash or vanished — an
+            // optional action; an unacked read observed nothing and
+            // constrains nothing, so it decomposes to no action at all.
+            (&OpKind::Insert { key, value }, &OpResult::Aborted) => {
+                push(&mut uf, key, Action::MaybeWrite { key, value });
+            }
+            (&OpKind::Delete { key }, &OpResult::Aborted) => {
+                push(&mut uf, key, Action::MaybeRemove { key });
+            }
+            (
+                OpKind::Get { .. } | OpKind::Range { .. } | OpKind::MGet { .. },
+                OpResult::Aborted,
+            ) => {}
+            // An aborted batch put never reports which slots executed; its
+            // per-key slots are all individually optional.
+            (OpKind::MPut { pairs }, OpResult::Aborted) => {
+                for &(key, value) in pairs {
+                    push(&mut uf, key, Action::MaybeWrite { key, value });
+                }
+            }
             (kind, result) => unreachable!("malformed record: {kind:?} -> {result:?}"),
         }
     }
@@ -460,7 +529,9 @@ fn decompose(history: &History, config: &CheckConfig) -> Vec<Component> {
                 .flat_map(|op| match &op.action {
                     Action::Write { key, .. }
                     | Action::Remove { key, .. }
-                    | Action::Read { key, .. } => vec![*key],
+                    | Action::Read { key, .. }
+                    | Action::MaybeWrite { key, .. }
+                    | Action::MaybeRemove { key } => vec![*key],
                     Action::Snap { entries, .. } => entries.iter().map(|&(k, _)| k).collect(),
                 })
                 .collect();
@@ -478,10 +549,13 @@ fn check_component(component: &Component, config: &CheckConfig) -> ComponentOutc
     let ops = &component.ops;
 
     // Stage 1: sequential fast path.  With no overlap the real-time order
-    // is the only linearization candidate.
+    // is the only linearization candidate — unless optional (unacked)
+    // actions are present: those may also *vanish*, so a straight replay
+    // would wrongly force them to take effect.
     let sequential = ops
         .windows(2)
-        .all(|pair| pair[0].response < pair[1].invoke);
+        .all(|pair| pair[0].response < pair[1].invoke)
+        && ops.iter().all(|op| op.action.mandatory());
     if sequential {
         let mut state = BTreeMap::new();
         for op in ops {
@@ -516,10 +590,13 @@ fn check_component(component: &Component, config: &CheckConfig) -> ComponentOutc
             _ => None,
         };
         let justify = |key: u64, v: u64, what: &str| -> Option<ComponentOutcome> {
+            // An unacked insert is a legitimate provenance source: it may
+            // have linearized at the crash even though nobody saw its ack.
             let justified = ops.iter().any(|other| {
                 matches!(
                     other.action,
-                    Action::Write { key: k, value, prior: None } if k == key && value == v
+                    Action::Write { key: k, value, prior: None }
+                    | Action::MaybeWrite { key: k, value } if k == key && value == v
                 ) && other.invoke < op.response
             });
             (!justified).then(|| {
@@ -553,6 +630,15 @@ fn check_component(component: &Component, config: &CheckConfig) -> ComponentOutc
 fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
     let n = ops.len();
     let words = n.div_ceil(64);
+    // Optional (unacked crash-window) actions may vanish: the search
+    // succeeds once every *mandatory* action is linearized, with any
+    // leftover optional actions implicitly discarded.
+    let mandatory: Vec<bool> = ops.iter().map(|op| op.action.mandatory()).collect();
+    let total_mandatory = mandatory.iter().filter(|&&m| m).count();
+    if total_mandatory == 0 {
+        // Every action may vanish; the empty linearization is valid.
+        return ComponentOutcome::Ok;
+    }
     let mut linearized = vec![false; n];
     let mut mask = vec![0u64; words];
     let mut state: BTreeMap<u64, u64> = BTreeMap::new();
@@ -561,7 +647,13 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
     // Configurations proven unlinearizable, keyed by (chosen-set, state).
     let mut failed: HashSet<ConfigKey> = HashSet::new();
 
-    let candidates = |linearized: &[bool]| -> Vec<usize> {
+    // A move is "handle operation `i` next": apply it (`skip == false`), or
+    // — for optional operations only — discard it (`skip == true`, the
+    // write vanished in the crash).  Discarding counts as handling, so an
+    // optional operation still participates in the real-time candidate
+    // window: a vanished write cannot reappear after later operations
+    // observed its absence.
+    let candidates = |linearized: &[bool]| -> Vec<(usize, bool)> {
         let min_resp = ops
             .iter()
             .enumerate()
@@ -569,15 +661,23 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
             .map(|(_, op)| op.response)
             .min()
             .unwrap_or(u64::MAX);
-        (0..n)
-            .filter(|&i| !linearized[i] && ops[i].invoke < min_resp)
-            .collect()
+        let mut moves = Vec::new();
+        for i in 0..n {
+            if linearized[i] || ops[i].invoke >= min_resp {
+                continue;
+            }
+            moves.push((i, false));
+            if !mandatory[i] {
+                moves.push((i, true));
+            }
+        }
+        moves
     };
 
     struct Frame {
         chosen: usize,
         undo: Undo,
-        cand: Vec<usize>,
+        cand: Vec<(usize, bool)>,
         pos: usize,
     }
     let mut stack: Vec<Frame> = Vec::new();
@@ -591,13 +691,18 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
     loop {
         let mut advanced = false;
         while pos < cand.len() {
-            let i = cand[pos];
+            let (i, skip) = cand[pos];
             pos += 1;
             spent += 1;
             if spent > budget {
                 return ComponentOutcome::Bounded;
             }
-            if let Some(undo) = try_apply(&mut state, &ops[i].action) {
+            let applied = if skip {
+                Some(Undo::None)
+            } else {
+                try_apply(&mut state, &ops[i].action)
+            };
+            if let Some(undo) = applied {
                 mask[i / 64] |= 1 << (i % 64);
                 let config_key = (
                     mask.clone(),
@@ -610,9 +715,11 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
                     continue;
                 }
                 linearized[i] = true;
-                done += 1;
-                if done == n {
-                    return ComponentOutcome::Ok;
+                if mandatory[i] {
+                    done += 1;
+                    if done == total_mandatory {
+                        return ComponentOutcome::Ok;
+                    }
                 }
                 stack.push(Frame {
                     chosen: i,
@@ -633,7 +740,11 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
         if done >= best_done {
             best_done = done;
             best_state = state.clone();
-            best_blocked = cand.iter().map(|&i| ops[i].render()).collect();
+            best_blocked = cand
+                .iter()
+                .filter(|&&(_, skip)| !skip)
+                .map(|&(i, _)| ops[i].render())
+                .collect();
         }
         failed.insert((
             mask.clone(),
@@ -641,16 +752,18 @@ fn wing_gong(ops: &[COp], budget: u64) -> ComponentOutcome {
         ));
         let Some(frame) = stack.pop() else {
             return ComponentOutcome::Violation(format!(
-                "search exhausted after linearizing {best_done}/{n} operations; \
-                 with state {best_state:?} none of the eligible operations can be \
-                 linearized next: [{}]",
+                "search exhausted after linearizing {best_done}/{total_mandatory} \
+                 mandatory operations; with state {best_state:?} none of the \
+                 eligible operations can be linearized next: [{}]",
                 best_blocked.join("; ")
             ));
         };
         let i = frame.chosen;
         mask[i / 64] &= !(1 << (i % 64));
         linearized[i] = false;
-        done -= 1;
+        if mandatory[i] {
+            done -= 1;
+        }
         undo_apply(&mut state, frame.undo);
         cand = frame.cand;
         pos = frame.pos;
@@ -913,5 +1026,134 @@ mod tests {
     fn empty_history_is_linearizable() {
         let outcome = check(&History::default(), &CheckConfig::with_snapshot_scans());
         assert!(matches!(outcome, Outcome::Linearizable));
+    }
+
+    fn aborted_insert(t: u32, key: u64, value: u64, iv: u64, rs: u64) -> OpRecord {
+        rec(t, OpKind::Insert { key, value }, OpResult::Aborted, iv, rs)
+    }
+
+    #[test]
+    fn unacked_write_may_vanish() {
+        // The write crashed before its fence and a later read sees nothing:
+        // legal, the write vanished.  (Strictly sequential on purpose — the
+        // fast path must not force the aborted write to take effect.)
+        let history = History {
+            ops: vec![
+                aborted_insert(0, 1, 10, 0, 1),
+                get(1, 1, None, 2, 3),
+            ],
+        };
+        assert!(matches!(
+            check(&history, &CheckConfig::default()),
+            Outcome::Linearizable
+        ));
+    }
+
+    #[test]
+    fn unacked_write_may_survive_the_crash() {
+        // The same crashed write observed by a later read: also legal — it
+        // linearized at the crash.  Provenance must accept the unacked
+        // insert as the value's source.
+        let history = History {
+            ops: vec![
+                aborted_insert(0, 1, 10, 0, 1),
+                get(1, 1, Some(10), 2, 3),
+                get(1, 1, Some(10), 4, 5),
+            ],
+        };
+        assert!(matches!(
+            check(&history, &CheckConfig::default()),
+            Outcome::Linearizable
+        ));
+    }
+
+    #[test]
+    fn unacked_write_cannot_flicker() {
+        // Vanish-then-reappear is NOT legal: the crashed write either
+        // linearized once or never.
+        let history = History {
+            ops: vec![
+                aborted_insert(0, 1, 10, 0, 1),
+                get(1, 1, None, 2, 3),
+                get(1, 1, Some(10), 4, 5),
+            ],
+        };
+        assert!(check(&history, &CheckConfig::default()).is_violation());
+    }
+
+    #[test]
+    fn acked_write_lost_after_crash_is_flagged() {
+        // The durability contract crashkv's lost-ack mutant violates: an
+        // ACKED write (fenced, by contract) must survive recovery; a
+        // strictly-later read seeing nothing is a durability violation.
+        let history = History {
+            ops: vec![
+                insert(0, 1, 10, None, 0, 1),
+                rec(0, OpKind::Insert { key: 2, value: 20 }, OpResult::Aborted, 2, 3),
+                get(1, 1, None, 4, 5),
+            ],
+        };
+        assert!(check(&history, &CheckConfig::default()).is_violation());
+    }
+
+    #[test]
+    fn unacked_delete_admits_both_outcomes() {
+        for observed in [Some(10), None] {
+            let history = History {
+                ops: vec![
+                    insert(0, 1, 10, None, 0, 1),
+                    rec(0, OpKind::Delete { key: 1 }, OpResult::Aborted, 2, 3),
+                    get(1, 1, observed, 4, 5),
+                ],
+            };
+            let outcome = check(&history, &CheckConfig::default());
+            assert!(
+                matches!(outcome, Outcome::Linearizable),
+                "observed={observed:?}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aborted_reads_constrain_nothing() {
+        let history = History {
+            ops: vec![
+                rec(0, OpKind::Get { key: 1 }, OpResult::Aborted, 0, 1),
+                rec(
+                    0,
+                    OpKind::Range { lo: 0, hi: 9 },
+                    OpResult::Aborted,
+                    2,
+                    3,
+                ),
+                rec(
+                    0,
+                    OpKind::MGet { keys: vec![1, 2] },
+                    OpResult::Aborted,
+                    4,
+                    5,
+                ),
+                get(1, 1, None, 6, 7),
+            ],
+        };
+        assert!(matches!(
+            check(&history, &CheckConfig::default()),
+            Outcome::Linearizable
+        ));
+    }
+
+    #[test]
+    fn all_optional_component_is_trivially_linearizable() {
+        let history = History {
+            ops: vec![
+                aborted_insert(0, 1, 10, 0, 5),
+                aborted_insert(1, 1, 11, 1, 6),
+                rec(2, OpKind::Delete { key: 1 }, OpResult::Aborted, 2, 7),
+            ],
+        };
+        assert!(matches!(
+            check(&history, &CheckConfig::default()),
+            Outcome::Linearizable
+        ));
     }
 }

@@ -90,6 +90,12 @@ pub enum OpResult {
     Entries(Vec<(u64, u64)>),
     /// Per-key results of a batched operation, in request order.
     Values(Vec<Option<u64>>),
+    /// The operation was **not acknowledged**: its shard crashed before the
+    /// covering durability fence (crashkv's `Crashed` error).  Under
+    /// durable linearizability an aborted write may have linearized at the
+    /// crash or vanished entirely — the checker treats it as *optional* —
+    /// while an aborted read carries no information at all.
+    Aborted,
 }
 
 /// One completed operation: who ran it, what it was, what it returned, and
@@ -124,6 +130,7 @@ impl OpRecord {
             OpResult::Value(v) => format!("{v:?}"),
             OpResult::Entries(entries) => format!("{entries:?}"),
             OpResult::Values(values) => format!("{values:?}"),
+            OpResult::Aborted => "crashed (unacknowledged)".to_string(),
         };
         format!(
             "t{} [{},{}] {call} -> {result}",

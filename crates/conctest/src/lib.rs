@@ -28,11 +28,21 @@
 //!    shrink ddmin-style to a minimal reproducer — a seed plus a schedule,
 //!    or a minimal event history.
 //!
+//! A fourth layer rides on the first two: **durable-linearizability
+//! checking** ([`durable`]) for crashkv's crash-injected persistent
+//! service.  [`DurableRecorder`] logs a `DurableRouter` session including
+//! crash-aborted operations ([`OpResult::Aborted`]); the checker treats an
+//! unacked crash-window write as *optional* (it linearized at the crash or
+//! vanished) while acked writes stay mandatory, so losing an acknowledged
+//! write is flagged as a violation.
+//!
 //! The `conctest` binary sweeps all of this over every registry structure
 //! (`--smoke` for the CI-sized run).  The harness proves it can catch real
 //! bugs by mutation: with `--features torn-scan`, an intentionally broken
 //! wrapper whose scans read the window in two halves must be flagged by the
-//! checker (`tests/mutation.rs`).
+//! checker (`tests/mutation.rs`); with `--features lost-ack`, a crashkv
+//! shard owner that releases acks before their covering fence must be
+//! flagged by the durable checker (`tests/lost_ack.rs`).
 //!
 //! Environment knobs: `AB_FORCE_PARALLEL` (see [`abtree::par`]) opens the
 //! parallelism-gated tests on single-CPU machines; `CONCTEST_ARTIFACT_DIR`
@@ -42,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod durable;
 pub mod fuzz;
 pub mod history;
 #[cfg(feature = "torn-scan")]
@@ -50,6 +61,7 @@ pub mod shrink;
 pub mod socket;
 
 pub use checker::{check, CheckConfig, Outcome, ViolationReport};
+pub use durable::{check_durable, DurableRecorder};
 pub use fuzz::{
     differential_fuzz, differential_kvserve, fuzz_concurrent, fuzz_kvserve_concurrent,
     record_concurrent, ConcFailure, ConcReport, DiffFailure, FuzzConfig, ScheduledOp, SpecOp,

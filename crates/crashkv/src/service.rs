@@ -1,0 +1,462 @@
+//! The durable sharded service: owner threads, the recovery supervisor,
+//! and the client-side router.
+//!
+//! ```text
+//!            DurableRouter (one per client thread)
+//!      get/put/delete          submit / collect_one
+//!            │ SPSC job lane        │
+//!            ▼                      ▼
+//!   ┌─ shard 0 owner ─┐   ┌─ shard 1 owner ─┐   ...
+//!   │ WalElimABTree   │   │ WalElimABTree   │
+//!   │ group fence ack │   │ group fence ack │
+//!   └───────┬─────────┘   └───────┬─────────┘
+//!           │ crash (status Down) │
+//!           ▼                     ▼
+//!        supervisor: join → pabtree::recover → respawn (status Up)
+//! ```
+//!
+//! Every shard is owned by exactly one thread; clients talk to it over SPSC
+//! lanes, and acknowledgements are group-committed (see [`crate::shard`]).
+//! The **supervisor** is the only component that ever observes a dead owner:
+//! it joins the crashed thread, runs [`pabtree::recover`] over the shard's
+//! persistent image, records a [`CrashReport`], and spawns a fresh owner.
+//! Routers never block on a poisoned lock — a crashed shard just answers
+//! its unacked operations with [`Crashed`] and queues new work until the
+//! owner is respawned.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kvserve::queue::{self, Consumer, Producer};
+use pabtree::WalElimABTree;
+
+use crate::crash::{CrashReport, CrashSpec, Crashed};
+use crate::shard::{
+    run_shard_owner, Lane, ShardCell, ShardJob, ShardReply, ShardState, ShardStatus,
+};
+
+/// Ring capacity of each job and reply lane.  The router also caps its
+/// in-flight operations per shard at this value, which guarantees the reply
+/// ring can always absorb a full ack-group release.
+const LANE_CAPACITY: usize = 64;
+
+/// How often the supervisor polls shard liveness.
+const SUPERVISOR_POLL: Duration = Duration::from_micros(200);
+
+struct Shared {
+    owners: Mutex<Vec<Option<JoinHandle<bool>>>>,
+    crash_log: Mutex<Vec<CrashReport>>,
+    shutdown: AtomicBool,
+    acks_per_fence: u32,
+}
+
+/// A durable sharded key/value service with supervised crash recovery.
+///
+/// Compared to `kvserve::KvService` the shards are persistent
+/// ([`WalElimABTree`]: per-operation flushes, group fences), the
+/// acknowledgement batching knob `acks_per_fence` trades ack latency for
+/// fence rate, and a crashed shard heals instead of poisoning the service.
+pub struct DurableKvService {
+    shards: Arc<Vec<Arc<ShardCell>>>,
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+fn spawn_owner(cell: Arc<ShardCell>, shard: usize, acks_per_fence: u32) -> JoinHandle<bool> {
+    std::thread::Builder::new()
+        .name(format!("crashkv-shard-{shard}"))
+        .spawn(move || run_shard_owner(cell, acks_per_fence))
+        .expect("failed to spawn shard owner")
+}
+
+fn supervise(shards: Arc<Vec<Arc<ShardCell>>>, shared: Arc<Shared>) {
+    loop {
+        for (idx, cell) in shards.iter().enumerate() {
+            if cell.state.status() != ShardStatus::Down {
+                continue;
+            }
+            // The owner published Down as its last act; join reaps it.
+            let handle = shared.owners.lock().expect("owner table poisoned")[idx].take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            let recovery = pabtree::recover(&cell.tree);
+            assert!(
+                !cell.tree.has_dirty_links(),
+                "recovery must clear every dirty link-and-persist mark"
+            );
+            if let Some(p) = cell
+                .state
+                .pending_crash
+                .lock()
+                .expect("crash record poisoned")
+                .take()
+            {
+                shared
+                    .crash_log
+                    .lock()
+                    .expect("crash log poisoned")
+                    .push(CrashReport {
+                        shard: idx,
+                        boundary_index: p.boundary_index,
+                        unfenced: p.unfenced,
+                        survived: p.survived,
+                        rolled_back: p.rolled_back,
+                        torn_insert: p.torn_insert,
+                        dirty_link: p.dirty_link,
+                        recovery,
+                    });
+            }
+            cell.state.crashes.fetch_add(1, Ordering::SeqCst);
+            cell.state.set_status(ShardStatus::Up);
+            let owner = spawn_owner(Arc::clone(cell), idx, shared.acks_per_fence);
+            shared.owners.lock().expect("owner table poisoned")[idx] = Some(owner);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+impl DurableKvService {
+    /// Builds a service with `shard_count` durable shards, releasing client
+    /// acknowledgements in groups of up to `acks_per_fence` per fence
+    /// (1 = fence per operation; larger groups amortize the fence but delay
+    /// acks — the axis `bench_durable` sweeps).
+    pub fn new(shard_count: usize, acks_per_fence: u32) -> Self {
+        assert!(shard_count > 0, "need at least one shard");
+        let shards: Arc<Vec<Arc<ShardCell>>> = Arc::new(
+            (0..shard_count)
+                .map(|_| {
+                    Arc::new(ShardCell {
+                        tree: WalElimABTree::new(),
+                        state: ShardState::new(),
+                    })
+                })
+                .collect(),
+        );
+        let owners = shards
+            .iter()
+            .enumerate()
+            .map(|(idx, cell)| Some(spawn_owner(Arc::clone(cell), idx, acks_per_fence)))
+            .collect();
+        let shared = Arc::new(Shared {
+            owners: Mutex::new(owners),
+            crash_log: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            acks_per_fence,
+        });
+        let supervisor = {
+            let shards = Arc::clone(&shards);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("crashkv-supervisor".into())
+                .spawn(move || supervise(shards, shared))
+                .expect("failed to spawn supervisor")
+        };
+        Self {
+            shards,
+            shared,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Opens a client router (one SPSC lane pair per shard).  Any number of
+    /// routers may be open concurrently; each belongs to one client thread.
+    pub fn router(&self) -> DurableRouter {
+        let lanes = self
+            .shards
+            .iter()
+            .map(|cell| {
+                let (job_tx, job_rx) = queue::channel(LANE_CAPACITY);
+                let (reply_tx, reply_rx) = queue::channel(LANE_CAPACITY);
+                cell.state.register_lane(Lane {
+                    jobs: job_rx,
+                    replies: reply_tx,
+                    buffered: VecDeque::new(),
+                });
+                RouterLane {
+                    jobs: job_tx,
+                    replies: reply_rx,
+                    in_flight: 0,
+                }
+            })
+            .collect();
+        DurableRouter {
+            shards: Arc::clone(&self.shards),
+            lanes,
+            pending: VecDeque::new(),
+            completed: VecDeque::new(),
+        }
+    }
+
+    /// Arms a crash on `shard` (see [`CrashSpec`]).  The crash fires at the
+    /// chosen group-fence boundary; the supervisor then recovers and heals
+    /// the shard.  At most one directive is armed per shard at a time — a
+    /// second call overwrites an unfired first.
+    pub fn inject_crash(&self, shard: usize, spec: CrashSpec) {
+        self.shards[shard].state.arm_crash(spec);
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key` (same Fibonacci-hash placement as
+    /// `kvserve`, so sharding stays comparable across the two services).
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_index(key, self.shards.len())
+    }
+
+    /// Completed crash + recovery cycles on `shard`.
+    pub fn crash_count(&self, shard: usize) -> u64 {
+        self.shards[shard].state.crashes.load(Ordering::SeqCst)
+    }
+
+    /// Group-fence boundaries `shard` has completed (every boundary is an
+    /// ack-release point; read-only boundaries skip the physical fence).
+    pub fn boundaries(&self, shard: usize) -> u64 {
+        self.shards[shard].state.boundaries.load(Ordering::SeqCst)
+    }
+
+    /// Physical group fences `shard` has issued.
+    pub fn fences(&self, shard: usize) -> u64 {
+        self.shards[shard].state.fences.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of every recorded [`CrashReport`], in recovery order.
+    pub fn crash_reports(&self) -> Vec<CrashReport> {
+        self.shared
+            .crash_log
+            .lock()
+            .expect("crash log poisoned")
+            .clone()
+    }
+
+    /// Total keys across all shards.  Quiescent use only (tests, benches).
+    pub fn total_keys(&self) -> u64 {
+        self.shards.iter().map(|cell| cell.tree.stats().keys).sum()
+    }
+
+    /// Structural invariant check over every shard tree.  Quiescent only.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (idx, cell) in self.shards.iter().enumerate() {
+            cell.tree
+                .check_invariants()
+                .map_err(|e| format!("shard {idx}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Stops every owner and the supervisor.  Requires all routers to be
+    /// dropped (or at least quiescent): owners drain their lanes before
+    /// exiting, and nothing re-arms after shutdown.  Idempotent; also runs
+    /// on `Drop`.
+    pub fn shutdown(&mut self) {
+        let Some(supervisor) = self.supervisor.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for cell in self.shards.iter() {
+            cell.state.begin_shutdown();
+        }
+        let _ = supervisor.join();
+        // The supervisor is gone, so reap the owners directly; a shard that
+        // crashed during the drain still gets its image recovered.
+        let mut owners = self.shared.owners.lock().expect("owner table poisoned");
+        for (idx, slot) in owners.iter_mut().enumerate() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
+            let cell = &self.shards[idx];
+            if cell.state.status() == ShardStatus::Down {
+                pabtree::recover(&cell.tree);
+                cell.state.set_status(ShardStatus::Up);
+            }
+        }
+    }
+}
+
+impl Drop for DurableKvService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn shard_index(key: u64, shards: usize) -> usize {
+    assert_ne!(
+        key,
+        abtree::EMPTY_KEY,
+        "EMPTY_KEY is reserved by the tree layer"
+    );
+    let hashed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((hashed as u128 * shards as u128) >> 64) as usize
+}
+
+/// One operation for the pipelined router path.
+#[derive(Debug, Clone, Copy)]
+pub enum DurableOp {
+    /// Point lookup.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Insert-if-absent.
+    Put {
+        /// Key to insert.
+        key: u64,
+        /// Value to associate.
+        value: u64,
+    },
+    /// Point removal.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+}
+
+struct RouterLane {
+    jobs: Producer<ShardJob>,
+    replies: Consumer<ShardReply>,
+    in_flight: usize,
+}
+
+/// A client handle: routes operations to their shard over SPSC lanes.
+///
+/// Two usage styles, freely mixable:
+///
+/// * **Blocking** — [`get`](Self::get) / [`put`](Self::put) /
+///   [`delete`](Self::delete) wait for the acknowledgement, i.e. for the
+///   covering group fence.  `Ok` means the effect is durable; [`Crashed`]
+///   means the shard crashed first and the operation may or may not have
+///   taken effect (retry at will).
+/// * **Pipelined** — [`submit`](Self::submit) queues without waiting (so
+///   group commits actually fill) and [`collect_one`](Self::collect_one)
+///   harvests acknowledgements in submission order.
+pub struct DurableRouter {
+    shards: Arc<Vec<Arc<ShardCell>>>,
+    lanes: Vec<RouterLane>,
+    /// Shard index of each in-flight pipelined operation, submission order.
+    pending: VecDeque<usize>,
+    /// Results harvested early (by a blocking call) but not yet collected.
+    completed: VecDeque<Result<Option<u64>, Crashed>>,
+}
+
+impl DurableRouter {
+    /// Durable point lookup (blocks for the covering group fence).
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, Crashed> {
+        let shard = shard_index(key, self.shards.len());
+        self.call(shard, ShardJob::Get { key })
+    }
+
+    /// Durable insert-if-absent; `Ok(prior)` is fenced before release.
+    pub fn put(&mut self, key: u64, value: u64) -> Result<Option<u64>, Crashed> {
+        let shard = shard_index(key, self.shards.len());
+        self.call(shard, ShardJob::Put { key, value })
+    }
+
+    /// Durable removal; `Ok(removed)` is fenced before release.
+    pub fn delete(&mut self, key: u64) -> Result<Option<u64>, Crashed> {
+        let shard = shard_index(key, self.shards.len());
+        self.call(shard, ShardJob::Delete { key })
+    }
+
+    /// Queues `op` without waiting for its acknowledgement.  `Err(op)`
+    /// hands the operation back when its shard lane is at capacity — call
+    /// [`collect_one`](Self::collect_one) and retry.
+    pub fn submit(&mut self, op: DurableOp) -> Result<(), DurableOp> {
+        let (shard, job) = match op {
+            DurableOp::Get { key } => (shard_index(key, self.shards.len()), ShardJob::Get { key }),
+            DurableOp::Put { key, value } => (
+                shard_index(key, self.shards.len()),
+                ShardJob::Put { key, value },
+            ),
+            DurableOp::Delete { key } => (
+                shard_index(key, self.shards.len()),
+                ShardJob::Delete { key },
+            ),
+        };
+        if !self.push(shard, job) {
+            return Err(op);
+        }
+        self.pending.push_back(shard);
+        Ok(())
+    }
+
+    /// Blocks for the acknowledgement of the **oldest** in-flight pipelined
+    /// operation; `None` when nothing is in flight.
+    pub fn collect_one(&mut self) -> Option<Result<Option<u64>, Crashed>> {
+        if let Some(result) = self.completed.pop_front() {
+            return Some(result);
+        }
+        let shard = self.pending.pop_front()?;
+        Some(self.pop_blocking(shard))
+    }
+
+    /// Pipelined operations whose acknowledgement has not been collected.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len() + self.completed.len()
+    }
+
+    fn call(&mut self, shard: usize, job: ShardJob) -> Result<Option<u64>, Crashed> {
+        while !self.push(shard, job) {
+            assert!(self.harvest_one(), "lane at capacity with nothing in flight");
+        }
+        // Drain every earlier pipelined ack into `completed` (order kept
+        // for collect_one) so the next reply on this lane is ours.
+        while self.harvest_one() {}
+        self.pop_blocking(shard)
+    }
+
+    /// Moves the oldest pending ack into `completed`; false if none.
+    fn harvest_one(&mut self) -> bool {
+        let Some(shard) = self.pending.pop_front() else {
+            return false;
+        };
+        let result = self.pop_blocking(shard);
+        self.completed.push_back(result);
+        true
+    }
+
+    /// Pushes one job if the per-shard in-flight cap allows; wakes the
+    /// owner.  The cap keeps both rings within capacity by construction.
+    fn push(&mut self, shard: usize, job: ShardJob) -> bool {
+        let lane = &mut self.lanes[shard];
+        if lane.in_flight >= LANE_CAPACITY {
+            return false;
+        }
+        lane.jobs
+            .try_push(job)
+            .expect("job lane full or disconnected below the in-flight cap");
+        lane.in_flight += 1;
+        self.shards[shard].state.wake();
+        true
+    }
+
+    /// Spins (then yields) for the next reply on `shard`'s lane.  A Down
+    /// shard simply makes this wait until the supervisor heals it.
+    fn pop_blocking(&mut self, shard: usize) -> Result<Option<u64>, Crashed> {
+        let lane = &mut self.lanes[shard];
+        let mut spins = 0u32;
+        loop {
+            if let Some(reply) = lane.replies.try_pop() {
+                lane.in_flight -= 1;
+                return match reply {
+                    ShardReply::Value(value) => Ok(value),
+                    ShardReply::Crashed => Err(Crashed),
+                };
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}

@@ -79,6 +79,52 @@ pub type POccABTree<L = McsLock> = AbTree<false, L, DurablePersist>;
 /// The p-Elim-ABtree of paper §5: durably linearizable Elim-ABtree.
 pub type PElimABTree<L = McsLock> = AbTree<true, L, DurablePersist>;
 
+/// Group-commit persistence policy: flushes are issued exactly where
+/// [`DurablePersist`] issues them, but **every fence is elided**.
+///
+/// This is the WAL-batching half of a group-commit design: the tree pushes
+/// its stores toward persistent memory continuously (so the write-back
+/// traffic is unchanged), while the ordering/durability point is deferred to
+/// whoever owns the persist lifecycle — in `crashkv`, the shard-owner thread,
+/// which issues one explicit [`abpmem::sfence`] per *group* of acknowledged
+/// operations (the `acks_per_fence` knob).  Between two group fences an
+/// operation's stores may or may not have reached persistent memory in any
+/// order, which is exactly the window the crash injector models by rolling
+/// back a prefix-complement of the unfenced operations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RelaxedPersist;
+
+impl Persist for RelaxedPersist {
+    const DURABLE: bool = true;
+
+    #[inline]
+    fn persist_range(ptr: *const u8, len: usize) {
+        // Flush without the trailing fence: durability is deferred to the
+        // owner's group fence.
+        abpmem::flush(ptr, len);
+    }
+
+    #[inline]
+    fn flush_range(ptr: *const u8, len: usize) {
+        abpmem::flush(ptr, len);
+    }
+
+    #[inline]
+    fn fence() {}
+
+    fn policy_name() -> &'static str {
+        "relaxed"
+    }
+}
+
+/// A group-commit (WAL-batched) OCC-ABtree: durable only at explicit group
+/// fences issued by the tree's owner (see [`RelaxedPersist`]).
+pub type WalOccABTree<L = McsLock> = AbTree<false, L, RelaxedPersist>;
+
+/// A group-commit (WAL-batched) Elim-ABtree: durable only at explicit group
+/// fences issued by the tree's owner (see [`RelaxedPersist`]).
+pub type WalElimABTree<L = McsLock> = AbTree<true, L, RelaxedPersist>;
+
 pub use recovery::{recover, RecoveryReport};
 
 #[cfg(test)]
@@ -113,6 +159,39 @@ mod tests {
         elim.check_invariants().unwrap();
         assert_eq!(ConcurrentMap::name(&occ), "p-occ-abtree");
         assert_eq!(ConcurrentMap::name(&elim), "p-elim-abtree");
+    }
+
+    #[test]
+    fn relaxed_policy_flushes_but_never_fences() {
+        // The WAL/group-commit trees issue every flush the durable trees
+        // issue, but elide every fence: durability is deferred to the
+        // owner's explicit group fence (crashkv's acks-per-fence knob).
+        let _session = TrackingSession::start();
+        abpmem::set_mode(PersistMode::CountOnly);
+        let tree: WalElimABTree = WalElimABTree::new();
+        let mut tree = tree.handle();
+        abpmem::reset_stats();
+        for k in 0..500u64 {
+            assert_eq!(tree.insert(k, k), None);
+        }
+        for k in 0..500u64 {
+            assert_eq!(tree.delete(k), Some(k));
+        }
+        let stats = abpmem::stats();
+        assert!(
+            stats.flushes > 1_000,
+            "relaxed trees must still flush every store (got {})",
+            stats.flushes
+        );
+        assert_eq!(
+            stats.fences, 0,
+            "relaxed trees must never fence on their own"
+        );
+        const { assert!(RelaxedPersist::DURABLE) };
+        assert_eq!(RelaxedPersist::policy_name(), "relaxed");
+        // The owner's group fence is an ordinary abpmem fence.
+        abpmem::sfence();
+        assert_eq!(abpmem::stats().fences, 1);
     }
 
     #[test]

@@ -188,6 +188,87 @@ mod tests {
     }
 
     #[test]
+    fn recovering_an_empty_tree_reports_every_field() {
+        // The degenerate image: a crash before any operation completed.
+        // Recovery must walk the single empty root leaf and report it
+        // exactly — every field, not just the key count.
+        let _s = quiet();
+        let tree: POccABTree = POccABTree::new();
+        let report = recover(&tree);
+        assert_eq!(report.keys, 0);
+        assert_eq!(report.leaves, 1, "an empty tree is one empty root leaf");
+        assert_eq!(report.internal_nodes, 0);
+        assert_eq!(report.height, 1);
+        // elapsed_ns is wall-clock and may legitimately be 0 on a coarse
+        // timer; the field just has to be populated sanely (< 1s here).
+        assert!(report.elapsed_ns < 1_000_000_000);
+        tree.check_invariants().unwrap();
+        // The recovered empty tree is fully operational.
+        let mut tree = tree.handle();
+        assert_eq!(tree.insert(1, 10), None);
+        assert_eq!(tree.get(1), Some(10));
+    }
+
+    #[test]
+    fn crash_before_the_first_fence_recovers_consistently() {
+        // A WAL (group-commit) tree that crashes before its owner ever
+        // issued a group fence: no operation is durably *ordered*, but the
+        // flushed image must still recover to a consistent dictionary.  On
+        // top of the unfenced contents, one torn in-flight insert (key and
+        // value stores persisted, version/size not) must be surfaced by
+        // recovery exactly as for the per-op durable trees.
+        let _s = quiet();
+        let tree: crate::WalOccABTree = crate::WalOccABTree::new();
+        abpmem::reset_stats();
+        let mut h = tree.handle();
+        for k in 0..300u64 {
+            h.insert(k, k + 1);
+        }
+        assert_eq!(
+            abpmem::stats().fences,
+            0,
+            "no group fence was issued: this is the crash-before-first-fence image"
+        );
+        assert!(h.force_partial_insert(10_000, 42));
+        let report = recover(&tree);
+        tree.check_invariants().unwrap();
+        assert_eq!(report.keys, 301, "torn insert linearizes at the crash");
+        assert_eq!(tree.stats().keys, report.keys);
+        let mut h = tree.handle();
+        assert_eq!(h.get(10_000), Some(42));
+        assert_eq!(h.get(299), Some(300));
+    }
+
+    #[test]
+    fn recovery_report_matches_tree_stats_field_by_field() {
+        // Cross-check every RecoveryReport field against the tree's own
+        // structural statistics on a multi-level tree with partial damage.
+        let _s = quiet();
+        let tree: PElimABTree = PElimABTree::new();
+        let mut h = tree.handle();
+        for k in 0..5_000u64 {
+            h.insert(k, k);
+        }
+        assert!(h.force_partial_delete(1_234));
+        tree.force_dirty_root_link();
+        let report = recover(&tree);
+        let stats = tree.stats();
+        assert_eq!(report.keys, stats.keys);
+        assert_eq!(report.keys, 4_999, "partially deleted key stays deleted");
+        assert_eq!(report.leaves, stats.leaves);
+        assert!(report.leaves >= 4_999 / abtree::MAX_KEYS as u64);
+        assert_eq!(
+            report.internal_nodes,
+            stats.internal_nodes + stats.tagged_nodes
+        );
+        assert!(report.internal_nodes > 0);
+        assert_eq!(report.height, stats.height);
+        assert!(report.height >= 3);
+        assert!(!tree.has_dirty_links(), "recovery must clear dirty links");
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
     fn recovery_report_counts_nodes() {
         let _s = quiet();
         let tree: POccABTree = POccABTree::new();

@@ -3,6 +3,10 @@
 //!
 //! Usage:
 //!   cargo run -p setbench --release --bin fig17_persistent -- \[keys\] \[seconds-per-cell\]
+//!   cargo run -p setbench --release --bin fig17_persistent -- --smoke
+//!
+//! `--smoke` runs a tiny sweep (2k keys, 50ms cells, low thread counts) so
+//! CI can exercise the full persistent-figure path in seconds.
 
 use std::time::Duration;
 
@@ -10,8 +14,13 @@ use setbench::{default_thread_counts, run_persistence_figure};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
-    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
-    let results = run_persistence_figure(keys, &default_thread_counts(), Duration::from_secs_f64(secs));
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let results = if smoke {
+        run_persistence_figure(2_000, &[1, 2], Duration::from_millis(50))
+    } else {
+        let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+        let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+        run_persistence_figure(keys, &default_thread_counts(), Duration::from_secs_f64(secs))
+    };
     assert!(results.iter().all(|r| r.validated), "validation failed");
 }

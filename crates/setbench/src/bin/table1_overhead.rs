@@ -4,6 +4,10 @@
 //!
 //! Usage:
 //!   cargo run -p setbench --release --bin table1_overhead -- \[keys\] \[seconds-per-cell\]
+//!   cargo run -p setbench --release --bin table1_overhead -- --smoke
+//!
+//! `--smoke` runs the same volatile/durable pairings over 2k keys, two
+//! threads, and 50ms cells so CI exercises the full table path in seconds.
 
 use std::time::Duration;
 
@@ -11,8 +15,14 @@ use setbench::{default_thread_counts, run_persistence_overhead_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
-    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
-    let threads = *default_thread_counts().last().unwrap();
-    run_persistence_overhead_table(keys, threads, Duration::from_secs_f64(secs));
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let rows = if smoke {
+        run_persistence_overhead_table(2_000, 2, Duration::from_millis(50))
+    } else {
+        let keys: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+        let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+        let threads = *default_thread_counts().last().unwrap();
+        run_persistence_overhead_table(keys, threads, Duration::from_secs_f64(secs))
+    };
+    assert!(!rows.is_empty(), "table produced no rows");
 }
