@@ -21,13 +21,23 @@ pub(crate) struct Slot {
     /// The epoch announced by the owning thread while pinned, or
     /// [`QUIESCENT`] while unpinned.
     pub(crate) announce: AtomicU64,
+    /// Retirement epoch of the oldest bag the owning thread is still
+    /// holding, or `u64::MAX` when it holds none.  Written only by the
+    /// owning thread (when its bag deque's front changes), read by
+    /// [`Collector::stats`] to compute the reclamation-lag gauge; a racy
+    /// reading is at worst one collection cycle stale.
+    pub(crate) oldest_bag: AtomicU64,
 }
+
+/// [`Slot::oldest_bag`] value meaning "no bags held".
+pub(crate) const NO_BAGS: u64 = u64::MAX;
 
 impl Slot {
     fn new() -> Self {
         Self {
             in_use: AtomicBool::new(false),
             announce: AtomicU64::new(QUIESCENT),
+            oldest_bag: AtomicU64::new(NO_BAGS),
         }
     }
 }
@@ -104,6 +114,9 @@ impl Inner {
         }
         let s = &self.slots[slot];
         s.announce.store(QUIESCENT, Ordering::Release);
+        // The thread's bags now live in the stash, which the lag gauge
+        // scans directly; the slot no longer speaks for them.
+        s.oldest_bag.store(NO_BAGS, Ordering::Release);
         s.in_use.store(false, Ordering::Release);
     }
 
@@ -192,6 +205,17 @@ pub struct CollectorStats {
     /// registration drops, so this is exact only once the handles (or
     /// threads) that pinned have gone away.
     pub local_pins: u64,
+    /// Objects retired but not yet freed (`retired - freed`): the live
+    /// garbage backlog.  A stalled reader pins the epoch, every thread's
+    /// bags stop aging out, and this grows with the retire rate — the
+    /// first-order reclamation-lag signal.
+    pub unreclaimed: u64,
+    /// How many epochs behind the global epoch the oldest still-held bag
+    /// is (0 when no garbage is held).  Healthy reclamation keeps this at
+    /// ~2 (the reclamation horizon); a stalled reader freezes the epoch
+    /// while bags accumulate *at* it, so a large or growing value means
+    /// some thread is pinned far in the past and garbage cannot age out.
+    pub oldest_epoch_age: u64,
 }
 
 /// An epoch-based garbage collector shared by all threads operating on one
@@ -279,12 +303,34 @@ impl Collector {
     /// the registry-pin vs local re-pin tallies; see [`CollectorStats`] for
     /// the flushing caveat on `local_pins`).
     pub fn stats(&self) -> CollectorStats {
+        let epoch = self.inner.epoch.load(Ordering::SeqCst);
+        let retired = self.inner.retired.load(Ordering::Relaxed);
+        let freed = self.inner.freed.load(Ordering::Relaxed);
+        // Oldest still-held bag across live threads' slots and the stash
+        // of bags inherited from exited threads.
+        let mut oldest = u64::MAX;
+        for slot in self.inner.slots.iter() {
+            if slot.in_use.load(Ordering::Acquire) {
+                oldest = oldest.min(slot.oldest_bag.load(Ordering::Acquire));
+            }
+        }
+        for bag in self.inner.stash.lock().unwrap().iter() {
+            oldest = oldest.min(bag.epoch);
+        }
         CollectorStats {
-            epoch: self.inner.epoch.load(Ordering::SeqCst),
-            retired: self.inner.retired.load(Ordering::Relaxed),
-            freed: self.inner.freed.load(Ordering::Relaxed),
+            epoch,
+            retired,
+            freed,
             registry_pins: self.inner.registry_pins.load(Ordering::Relaxed),
             local_pins: self.inner.local_pins.load(Ordering::Relaxed),
+            // Saturating: `retired` and `freed` are read at different
+            // instants under traffic, so `freed` can transiently lead.
+            unreclaimed: retired.saturating_sub(freed),
+            oldest_epoch_age: if oldest == u64::MAX {
+                0
+            } else {
+                epoch.saturating_sub(oldest)
+            },
         }
     }
 
@@ -339,5 +385,82 @@ mod tests {
         let c2 = c1.clone();
         c1.flush();
         assert_eq!(c1.stats().epoch, c2.stats().epoch);
+    }
+
+    #[test]
+    fn stalled_reader_shows_up_as_reclamation_lag() {
+        let collector = Collector::new();
+        let fresh = collector.stats();
+        assert_eq!(fresh.unreclaimed, 0);
+        assert_eq!(fresh.oldest_epoch_age, 0);
+
+        // A reader pins and then stalls (holds its guard across the whole
+        // scenario), freezing the epoch it announced.
+        let stalled = collector.register();
+        let stalled_guard = stalled.pin();
+
+        // A worker thread's handle keeps retiring; its garbage lands in
+        // its own bags at the current epoch.
+        let worker = collector.register();
+        for _ in 0..5 {
+            let guard = worker.pin();
+            let p = Box::into_raw(Box::new(0u8));
+            unsafe { guard.defer_drop(p) };
+        }
+        // The stalled announcement at epoch 0 allows at most one advance
+        // (0 -> 1); bags need `epoch + 2 <= global` to free, so nothing
+        // can be reclaimed no matter how often we try.
+        for _ in 0..8 {
+            worker.flush();
+        }
+        let lagging = collector.stats();
+        assert_eq!(lagging.unreclaimed, 5, "nothing freed under the stall");
+        assert_eq!(lagging.epoch, 1, "epoch frozen one past the stall");
+        assert_eq!(
+            lagging.oldest_epoch_age, 1,
+            "oldest bag (epoch 0) is one epoch behind the frozen global"
+        );
+
+        // The reader recovers: the epoch advances and the backlog drains.
+        drop(stalled_guard);
+        for _ in 0..8 {
+            worker.flush();
+        }
+        let drained = collector.stats();
+        assert_eq!(drained.unreclaimed, 0);
+        assert_eq!(drained.oldest_epoch_age, 0, "no bags held, age resets");
+        assert_eq!(drained.freed, 5);
+    }
+
+    #[test]
+    fn lag_gauge_follows_garbage_into_the_stash() {
+        // A thread that exits with unreclaimable garbage hands its bags to
+        // the stash; the gauge must keep seeing them there.
+        let collector = Collector::new();
+        let stalled = collector.register();
+        let stalled_guard = stalled.pin();
+
+        {
+            let worker = collector.register();
+            let guard = worker.pin();
+            let p = Box::into_raw(Box::new(0u8));
+            unsafe { guard.defer_drop(p) };
+            drop(guard);
+        } // worker handle drops: its bag is stashed, its slot cleared
+
+        let stats = collector.stats();
+        assert_eq!(stats.unreclaimed, 1);
+        assert!(
+            stats.oldest_epoch_age >= 1,
+            "stashed bag still counts toward lag, got {}",
+            stats.oldest_epoch_age
+        );
+
+        drop(stalled_guard);
+        for _ in 0..8 {
+            collector.flush();
+        }
+        assert_eq!(collector.stats().unreclaimed, 0);
+        assert_eq!(collector.stats().oldest_epoch_age, 0);
     }
 }

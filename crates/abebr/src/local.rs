@@ -168,6 +168,7 @@ impl Local {
         let epoch = self.inner.epoch.load(Ordering::SeqCst);
         {
             let mut bags = self.bags.borrow_mut();
+            let was_empty = bags.is_empty();
             match bags.back_mut() {
                 Some(bag) if bag.epoch == epoch => bag.items.push(garbage),
                 _ => {
@@ -175,6 +176,13 @@ impl Local {
                     bag.items.push(garbage);
                     bags.push_back(bag);
                 }
+            }
+            if was_empty {
+                // The new bag is the front: publish its epoch for the
+                // collector's reclamation-lag gauge.
+                self.inner.slots[self.slot]
+                    .oldest_bag
+                    .store(epoch, Ordering::Release);
             }
         }
         self.inner.retired.fetch_add(1, Ordering::Relaxed);
@@ -201,6 +209,12 @@ impl Local {
                 } else {
                     break;
                 }
+            }
+            if freed > 0 {
+                self.inner.slots[self.slot].oldest_bag.store(
+                    bags.front().map_or(crate::collector::NO_BAGS, |b| b.epoch),
+                    Ordering::Release,
+                );
             }
         }
         if freed > 0 {

@@ -244,6 +244,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> ConcurrentMap for AbTree<ELIM
             (true, true) => "p-elim-abtree",
         }
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        Some(self.collector().stats())
+    }
 }
 
 #[cfg(test)]

@@ -285,6 +285,17 @@ pub trait ConcurrentMap: Send + Sync {
 
     /// Short name used in benchmark output (e.g. `"elim-abtree"`).
     fn name(&self) -> &'static str;
+
+    /// Point-in-time statistics of the structure's epoch-based-reclamation
+    /// collector, or `None` for structures that do not reclaim through
+    /// EBR.  This is how embedders that only hold a `dyn ConcurrentMap`
+    /// (the service layer's shards, and through them the telemetry
+    /// scrape) surface reclamation health — epoch, retired/freed totals,
+    /// and the reclamation-lag gauges — without knowing the concrete
+    /// structure.
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        None
+    }
 }
 
 /// Boxed maps are maps too, so registry-built `Box<dyn ...>` values (e.g.
@@ -297,6 +308,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        (**self).ebr_stats()
     }
 }
 
@@ -322,6 +336,9 @@ impl<M: ConcurrentMap + ?Sized> ConcurrentMap for SharedMap<M> {
     }
     fn name(&self) -> &'static str {
         self.0.name()
+    }
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        self.0.ebr_stats()
     }
 }
 

@@ -262,6 +262,10 @@ impl ConcurrentMap for CaTree {
     fn name(&self) -> &'static str {
         "catree"
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        SessionOps::collector(self).map(Collector::stats)
+    }
 }
 
 impl Drop for CaTree {

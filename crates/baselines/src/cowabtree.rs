@@ -273,6 +273,10 @@ impl ConcurrentMap for CowABTree {
     fn name(&self) -> &'static str {
         "lf-abtree(cow)"
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        SessionOps::collector(self).map(Collector::stats)
+    }
 }
 
 impl Drop for CowABTree {

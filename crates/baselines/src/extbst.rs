@@ -274,6 +274,10 @@ impl ConcurrentMap for LockExtBst {
     fn name(&self) -> &'static str {
         "ext-bst-lock"
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        SessionOps::collector(self).map(Collector::stats)
+    }
 }
 
 impl Drop for LockExtBst {

@@ -361,6 +361,10 @@ impl ConcurrentMap for LazySkipList {
     fn name(&self) -> &'static str {
         "skiplist-lazy"
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        SessionOps::collector(self).map(Collector::stats)
+    }
 }
 
 impl Drop for LazySkipList {

@@ -40,6 +40,10 @@ impl<M: ConcurrentMap> ConcurrentMap for TornScan<M> {
     fn name(&self) -> &'static str {
         "torn-scan"
     }
+
+    fn ebr_stats(&self) -> Option<abebr::CollectorStats> {
+        self.inner.ebr_stats()
+    }
 }
 
 impl<M: KeySum> KeySum for TornScan<M> {

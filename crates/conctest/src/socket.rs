@@ -240,5 +240,6 @@ fn result_of(reply: &Response) -> OpResult {
         Response::Entries(entries) => OpResult::Entries(entries.clone()),
         Response::Overloaded => unreachable!("refused ops are never recorded"),
         Response::Error { code } => panic!("server answered protocol error {code}"),
+        Response::Stats(_) => unreachable!("the history harness never scrapes stats"),
     }
 }

@@ -120,6 +120,49 @@ mod tests {
         assert_eq!(service.total_keys(), total);
     }
 
+    // With the `lost-ack` mutant, acks release before the covering fence,
+    // so "every put returned" no longer implies the fence counters are
+    // quiescent — the exact-equality scrape checks below would race.
+    #[cfg(not(feature = "lost-ack"))]
+    #[test]
+    fn registry_scrapes_durability_counters_and_fence_stage() {
+        let mut service = DurableKvService::new(2, 4);
+        let mut router = service.router();
+        for k in 1..=64u64 {
+            router.put(k, k).unwrap();
+        }
+        drop(router);
+        let text = service.registry().render();
+        let parsed = obs::expo::parse(&text).unwrap();
+        for name in [
+            "durable_boundaries_total",
+            "durable_fences_total",
+            "durable_crashes_total",
+            "durable_shard_up",
+        ] {
+            assert!(
+                parsed.iter().any(|s| s.name == name),
+                "{name} missing from the scrape"
+            );
+        }
+        // Durability counters are functional state (group commit depends on
+        // them), so the scraped values are exact even with obs recording
+        // compiled out.  The last put blocked for its covering fence, so the
+        // counters are quiescent.
+        let fences: u64 = (0..2).map(|s| service.fences(s)).sum();
+        assert!(fences > 0, "64 blocking puts must fence");
+        assert_eq!(obs::expo::sum(&parsed, "durable_fences_total", &[]), fences);
+        assert_eq!(
+            obs::expo::sum(&parsed, "durable_shard_up", &[]),
+            2,
+            "both shards up"
+        );
+        // The fence stage is recorded unsampled: one span per physical fence.
+        let spans = obs::expo::sum(&parsed, "stage_latency_ns_count", &[("stage", "fence")]);
+        assert_eq!(spans, if obs::ENABLED { fences } else { 0 });
+        service.shutdown();
+    }
+
     // The two crash tests below assert the durability contract the
     // `lost-ack` mutant intentionally violates, so they are compiled out
     // with the mutant (conctest's mutation test asserts the violation).
@@ -190,6 +233,14 @@ mod tests {
         assert!(report.dirty_link, "directive requested a dirty link");
         assert!(report.recovery.leaves >= 1);
         service.check_invariants().unwrap();
+        // The metric registry mirrors the recovery: exactly one completed
+        // crash cycle, and the shard reads as healed.
+        let parsed = obs::expo::parse(&service.registry().render()).unwrap();
+        assert_eq!(obs::expo::sum(&parsed, "durable_crashes_total", &[]), 1);
+        assert_eq!(
+            obs::expo::value(&parsed, "durable_shard_up", &[("shard", "0")]),
+            Some(1)
+        );
     }
 
     #[cfg(not(feature = "lost-ack"))]

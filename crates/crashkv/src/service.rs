@@ -31,6 +31,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use kvserve::queue::{self, Consumer, Producer};
+use obs::{Registry, Sample, StageTrace};
 use pabtree::WalElimABTree;
 
 use crate::crash::{CrashReport, CrashSpec, Crashed};
@@ -63,6 +64,12 @@ pub struct DurableKvService {
     shards: Arc<Vec<Arc<ShardCell>>>,
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<()>>,
+    /// Pull-based metric registry: per-shard durability counters
+    /// (`durable_*`) and the fence-stage latency histogram register at
+    /// construction; render it (or graft it into a larger spine) for a
+    /// crash-aware health scrape.
+    registry: Arc<Registry>,
+    trace: Arc<StageTrace>,
 }
 
 fn spawn_owner(cell: Arc<ShardCell>, shard: usize, acks_per_fence: u32) -> JoinHandle<bool> {
@@ -129,12 +136,14 @@ impl DurableKvService {
     /// acks — the axis `bench_durable` sweeps).
     pub fn new(shard_count: usize, acks_per_fence: u32) -> Self {
         assert!(shard_count > 0, "need at least one shard");
+        let trace = Arc::new(StageTrace::new());
         let shards: Arc<Vec<Arc<ShardCell>>> = Arc::new(
             (0..shard_count)
                 .map(|_| {
                     Arc::new(ShardCell {
                         tree: WalElimABTree::new(),
                         state: ShardState::new(),
+                        trace: Arc::clone(&trace),
                     })
                 })
                 .collect(),
@@ -158,10 +167,48 @@ impl DurableKvService {
                 .spawn(move || supervise(shards, shared))
                 .expect("failed to spawn supervisor")
         };
+        let registry = Arc::new(Registry::new());
+        {
+            let cells = Arc::clone(&shards);
+            registry.register(move |out| {
+                for (index, cell) in cells.iter().enumerate() {
+                    let state = &cell.state;
+                    out.push(
+                        Sample::counter(
+                            "durable_boundaries_total",
+                            state.boundaries.load(Ordering::Relaxed),
+                        )
+                        .with("shard", index),
+                    );
+                    out.push(
+                        Sample::counter(
+                            "durable_fences_total",
+                            state.fences.load(Ordering::Relaxed),
+                        )
+                        .with("shard", index),
+                    );
+                    out.push(
+                        Sample::counter(
+                            "durable_crashes_total",
+                            state.crashes.load(Ordering::Relaxed),
+                        )
+                        .with("shard", index),
+                    );
+                    let up = matches!(state.status(), ShardStatus::Up);
+                    out.push(Sample::gauge("durable_shard_up", u64::from(up)).with("shard", index));
+                }
+            });
+        }
+        {
+            let trace = Arc::clone(&trace);
+            registry.register(move |out| trace.collect(out));
+        }
         Self {
             shards,
             shared,
             supervisor: Some(supervisor),
+            registry,
+            trace,
         }
     }
 
@@ -200,6 +247,21 @@ impl DurableKvService {
     /// second call overwrites an unfired first.
     pub fn inject_crash(&self, shard: usize, spec: CrashSpec) {
         self.shards[shard].state.arm_crash(spec);
+    }
+
+    /// The service's metric registry.  Per-shard durability counters
+    /// (`durable_boundaries_total`, `durable_fences_total`,
+    /// `durable_crashes_total`, the `durable_shard_up` gauge) and the
+    /// stage trace register at construction; callers may register further
+    /// sources or graft [`Registry::snapshot`] output into a larger scrape.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The stage trace the shard owners record group-fence spans into
+    /// (`stage_latency_ns{stage="fence"}` in the scrape).
+    pub fn stage_trace(&self) -> &Arc<StageTrace> {
+        &self.trace
     }
 
     /// Number of shards.

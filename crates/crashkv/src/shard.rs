@@ -33,6 +33,7 @@ use std::thread::Thread;
 
 use abtree::MapHandle;
 use kvserve::queue::{Consumer, Producer, PushError};
+use obs::{Stage, StageTrace, Stamp};
 use pabtree::WalElimABTree;
 
 use crate::crash::CrashSpec;
@@ -236,6 +237,10 @@ impl ShardState {
 pub(crate) struct ShardCell {
     pub(crate) tree: WalElimABTree,
     pub(crate) state: ShardState,
+    /// The service-wide stage trace; the owner records every group
+    /// [`Stage::Fence`] span into it (unsampled — fences are already
+    /// amortized to one per ack group).
+    pub(crate) trace: Arc<StageTrace>,
 }
 
 /// One state-changing operation of the current unfenced group, with enough
@@ -261,6 +266,7 @@ pub(crate) fn run_shard_owner(cell: Arc<ShardCell>, acks_per_fence: u32) -> bool
     // Publish our thread handle before the first possible park, so
     // `wake()` / `begin_shutdown()` can always unpark us.
     state.set_owner(std::thread::current());
+    let recorder = cell.trace.recorder();
     let mut handle = cell.tree.handle();
     let mut lanes: Vec<Lane> = Vec::new();
     let mut seen_generation = 0u64;
@@ -310,8 +316,10 @@ pub(crate) fn run_shard_owner(cell: Arc<ShardCell>, acks_per_fence: u32) -> bool
                 return true;
             }
             if !unfenced.is_empty() {
+                let fence_start = Stamp::now();
                 abpmem::sfence();
                 state.fences.fetch_add(1, Ordering::SeqCst);
+                recorder.record(Stage::Fence, fence_start);
                 unfenced.clear();
             }
             state.boundaries.fetch_add(1, Ordering::SeqCst);

@@ -13,12 +13,14 @@
 //!                 | 0x04 varint(lo) varint(len)           -- Scan
 //!                 | 0x05 varint(n) varint(key)*n          -- MGet
 //!                 | 0x06 varint(n) (varint varint)*n      -- MPut
+//!                 | 0x07                                  -- Stats
 //! response_batch := varint(count) response*
 //! response       := 0x81 opt                              -- Value
 //!                 | 0x82 varint(n) opt*n                  -- Values
 //!                 | 0x83 varint(n) (varint varint)*n      -- Entries
 //!                 | 0x84                                  -- Overloaded
 //!                 | 0x85 varint(code)                     -- Error
+//!                 | 0x86 varint(len) byte*len             -- Stats (UTF-8 text)
 //! opt            := 0x00 | 0x01 varint(value)
 //! ```
 //!
@@ -66,6 +68,10 @@ pub enum CodecError {
     ReservedKey,
     /// The batch decoded successfully but bytes remain (the count).
     TrailingBytes(usize),
+    /// A stats-snapshot payload was not valid UTF-8.  The exposition text
+    /// is UTF-8 by construction, so this means corruption, same severity
+    /// as a bad tag.
+    BadUtf8,
 }
 
 impl std::fmt::Display for CodecError {
@@ -82,6 +88,7 @@ impl std::fmt::Display for CodecError {
                 write!(f, "key is the reserved EMPTY_KEY sentinel (u64::MAX)")
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the batch"),
+            CodecError::BadUtf8 => write!(f, "stats payload is not valid UTF-8"),
         }
     }
 }
@@ -211,6 +218,9 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
                 write_varint(out, value);
             }
         }
+        // Payload-free, like Overloaded on the response side: a scrape
+        // asks for everything, so there is nothing to parameterize.
+        Request::Stats => out.push(0x07),
     }
 }
 
@@ -250,6 +260,7 @@ fn decode_request(buf: &[u8], pos: &mut usize) -> Result<Request, CodecError> {
             }
             Request::MPut { pairs }
         }
+        0x07 => Request::Stats,
         other => return Err(CodecError::BadTag(other)),
     })
 }
@@ -282,6 +293,14 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
             out.push(0x85);
             write_varint(out, *code);
         }
+        Response::Stats(text) => {
+            out.push(0x86);
+            // The exposition text shares the wire length cap, so a stats
+            // frame can never exceed what any decoder would accept (a
+            // full scrape of a large deployment is tens of KB).
+            write_len(out, text.len());
+            out.extend_from_slice(text.as_bytes());
+        }
     }
 }
 
@@ -312,6 +331,17 @@ fn decode_response(buf: &[u8], pos: &mut usize) -> Result<Response, CodecError> 
         0x85 => Response::Error {
             code: read_varint(buf, pos)?,
         },
+        0x86 => {
+            let n = read_len(buf, pos)?;
+            let bytes = buf
+                .get(*pos..*pos + n)
+                .ok_or(CodecError::Truncated)?;
+            *pos += n;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| CodecError::BadUtf8)?
+                .to_string();
+            Response::Stats(text)
+        }
         other => return Err(CodecError::BadTag(other)),
     })
 }
@@ -500,8 +530,83 @@ mod tests {
             (CodecError::TooLong(1 << 30), "cap"),
             (CodecError::ReservedKey, "EMPTY_KEY"),
             (CodecError::TrailingBytes(3), "3 trailing"),
+            (CodecError::BadUtf8, "UTF-8"),
         ] {
             assert!(err.to_string().contains(needle), "{err}");
         }
+    }
+
+    #[test]
+    fn stats_frames_round_trip() {
+        // The request is a bare tag, like Overloaded on the response side.
+        let mut wire = Vec::new();
+        encode_batch(&[Request::Stats], &mut wire);
+        assert_eq!(wire, vec![1, 0x07]);
+        assert_eq!(decode_batch(&wire).unwrap(), vec![Request::Stats]);
+
+        // The response carries length-prefixed UTF-8 exposition text.
+        let text = "# TYPE kv_ops_total counter\nkv_ops_total{shard=\"0\"} 42\n";
+        let resp = Response::Stats(text.to_string());
+        encode_response_batch(std::slice::from_ref(&resp), &mut wire);
+        assert_eq!(decode_response_batch(&wire).unwrap(), vec![resp]);
+        // Empty exposition (no sources registered) is legal.
+        let empty = Response::Stats(String::new());
+        encode_response_batch(std::slice::from_ref(&empty), &mut wire);
+        assert_eq!(decode_response_batch(&wire).unwrap(), vec![empty]);
+        // Stats mixes with other responses in one batch.
+        let mixed = vec![
+            Response::Value(Some(1)),
+            Response::Stats("x 1\n".to_string()),
+            Response::Overloaded,
+        ];
+        encode_response_batch(&mixed, &mut wire);
+        assert_eq!(decode_response_batch(&wire).unwrap(), mixed);
+    }
+
+    #[test]
+    fn stats_decode_is_strict() {
+        let mut wire = Vec::new();
+        encode_response_batch(
+            &[Response::Stats("metric_total 7\n".to_string())],
+            &mut wire,
+        );
+        // Truncation anywhere inside the frame — including mid-payload —
+        // is an error, same rule as every other frame.
+        for cut in 0..wire.len() {
+            assert!(
+                decode_response_batch(&wire[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing bytes after the payload are an error.
+        wire.push(0x00);
+        assert_eq!(
+            decode_response_batch(&wire),
+            Err(CodecError::TrailingBytes(1))
+        );
+        // A length prefix larger than the cap is rejected before any
+        // allocation.
+        let mut hostile = Vec::new();
+        write_varint(&mut hostile, 1); // batch of one
+        hostile.push(0x86);
+        write_varint(&mut hostile, MAX_DECODED_LEN + 1);
+        assert!(matches!(
+            decode_response_batch(&hostile),
+            Err(CodecError::TooLong(_))
+        ));
+        // Non-UTF-8 payload bytes are rejected, not lossily accepted.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1);
+        bad.push(0x86);
+        write_varint(&mut bad, 2);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_response_batch(&bad), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    #[should_panic(expected = "wire cap")]
+    fn stats_encoder_enforces_the_cap_too() {
+        let oversized = Response::Stats("x".repeat(MAX_DECODED_LEN as usize + 1));
+        encode_response_batch(std::slice::from_ref(&oversized), &mut Vec::new());
     }
 }

@@ -32,9 +32,14 @@
 //! * **Namespaces** ([`Namespace`]): 16-bit tenant prefixes packed into the
 //!   high key bits, keeping each tenant's keys contiguous in the ordered
 //!   shards (a tenant scan is one window).
-//! * **Observability** ([`ServiceStats`]): per-shard and per-namespace
-//!   counters (ops, hit rate) plus fixed-bucket power-of-two histograms for
-//!   p50/p99 latency and batch sizes — no external crates.
+//! * **Observability** ([`ServiceStats`] + [`obs`]): per-shard and
+//!   per-namespace counters (ops, hit rate) plus fixed-bucket power-of-two
+//!   histograms for p50/p99 latency and batch sizes, all registered as pull
+//!   sources in the service's [`obs::Registry`] — one [`Request::Stats`]
+//!   scrape renders the whole stack (op counters, sampled per-stage
+//!   pipeline latency, per-shard EBR reclamation lag) as Prometheus-style
+//!   text exposition.  Building `obs` with its `compile-out` feature
+//!   removes every recording site — no external crates either way.
 //!
 //! # Example
 //!
@@ -61,8 +66,14 @@
 //! let mut values = Vec::new();
 //! router.mget(&keys, &mut values);
 //! assert_eq!(values[7], Some(700));
+//!
+//! // One Stats request scrapes every registered metric as text.
+//! let Response::Stats(text) = router.execute(&Request::Stats) else {
+//!     unreachable!()
+//! };
+//! assert!(text.contains("kv_shard_version"));
 //! drop(router);
-//! assert!(service.stats().namespace(1).hits() >= 2);
+//! assert!(!obs::ENABLED || service.stats().namespace(1).hits() >= 2);
 //! ```
 
 #![warn(missing_docs)]

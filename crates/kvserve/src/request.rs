@@ -60,6 +60,12 @@ pub enum Request {
         /// The `(key, value)` pairs to insert.
         pairs: Vec<(u64, u64)>,
     },
+    /// Telemetry scrape: a point-in-time snapshot of every metric the
+    /// service's [`obs::Registry`] knows about, answered with
+    /// [`Response::Stats`].  Served by the router directly (it never
+    /// crosses a shard lane), so it does not perturb — and is not counted
+    /// in — the per-shard operation counters.
+    Stats,
 }
 
 impl Request {
@@ -72,6 +78,7 @@ impl Request {
             Request::Scan { len, .. } => *len,
             Request::MGet { keys } => keys.len() as u64,
             Request::MPut { pairs } => pairs.len() as u64,
+            Request::Stats => 0,
         }
     }
 }
@@ -103,6 +110,10 @@ pub enum Response {
         /// Machine-readable reason code.
         code: u64,
     },
+    /// Result of a [`Request::Stats`] scrape: the Prometheus-style text
+    /// exposition of every registered metric at the moment the router
+    /// served the request (parse it with [`obs::expo::parse`]).
+    Stats(String),
 }
 
 #[cfg(test)]
@@ -123,5 +134,6 @@ mod tests {
             .key_count(),
             2
         );
+        assert_eq!(Request::Stats.key_count(), 0, "a scrape touches no keys");
     }
 }

@@ -1,148 +1,22 @@
-//! Service observability: operation counters and fixed-bucket histograms.
+//! Service observability: operation counters and their registry sources.
 //!
 //! Everything here is lock-free (plain relaxed atomics) and allocation-free
 //! on the record path, so routers can update stats inline without perturbing
-//! the workload they measure.  The build environment is offline, so the
-//! latency histogram is a purpose-built fixed-bucket power-of-two histogram
-//! (the shape HdrHistogram-style recorders degrade to at low resolution)
-//! rather than an external crate: 64 buckets, bucket *i* holding values
-//! whose highest set bit is *i*, i.e. `[2^i, 2^(i+1))`.  Quantiles are
-//! resolved to the bucket upper bound, giving ~2x-resolution p50/p99 — ample
-//! for distinguishing "100ns point get" from "10µs cross-shard scan".
+//! the workload they measure.  The histogram type itself lives in the
+//! telemetry crate ([`obs::Histogram`], re-exported here for compatibility);
+//! this module owns the *service-shaped* aggregates — per-shard and
+//! per-namespace counters, the latency/batch-size histograms — and knows how
+//! to emit them as registry [`Sample`]s for a scrape.
+//!
+//! With `obs`'s `compile-out` feature enabled every `record_*` method
+//! returns immediately (the [`obs::ENABLED`] branch is a `const`, so it
+//! folds away), which is what makes the measured-overhead baseline honest.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of histogram buckets (one per possible highest set bit of a
-/// `u64`).
-pub const HISTOGRAM_BUCKETS: usize = 64;
+pub use obs::{Histogram, HISTOGRAM_BUCKETS};
 
-/// A fixed-bucket power-of-two histogram over `u64` samples.
-///
-/// `record` is wait-free (one relaxed fetch-add); quantile queries walk the
-/// 64 buckets.  Used for latencies (nanoseconds) and batch sizes.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    /// The bucket index holding `value`: the position of its highest set bit
-    /// (0 for values 0 and 1).
-    #[inline]
-    fn bucket_of(value: u64) -> usize {
-        63 - (value | 1).leading_zeros() as usize
-    }
-
-    /// Records one sample.
-    #[inline]
-    pub fn record(&self, value: u64) {
-        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The upper bound of the bucket containing the `q`-quantile sample
-    /// (`q` in `[0, 1]`), or `None` for an empty histogram.  Resolution is
-    /// the bucket width, i.e. within 2x of the true quantile.
-    ///
-    /// An empty histogram has no quantiles: returning any in-band number
-    /// (this function used to return 0, a value inside bucket 0) lets "no
-    /// traffic" masquerade as "sub-nanosecond latency" in reports.  Samples
-    /// that land in the top bucket resolve to `Some(u64::MAX)`, a *saturated*
-    /// reading meaning "at least 2^63" — distinguishable from the empty case.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        // The rank of the requested quantile, 1-based, clamped into range
-        // (also forgiving of q outside [0, 1] and NaN, which clamp to the
-        // extremes).
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Some(if i >= 63 { u64::MAX } else { (1 << (i + 1)) - 1 });
-            }
-        }
-        // Unreachable when counts are stable; concurrent `record`s between
-        // the `count` above and the walk can only increase `seen`.
-        Some(u64::MAX)
-    }
-
-    /// Median, or `None` when no samples were recorded (see
-    /// [`quantile`](Self::quantile) for resolution and saturation).
-    pub fn p50(&self) -> Option<u64> {
-        self.quantile(0.50)
-    }
-
-    /// 99th percentile, or `None` when no samples were recorded (see
-    /// [`quantile`](Self::quantile) for resolution and saturation).
-    pub fn p99(&self) -> Option<u64> {
-        self.quantile(0.99)
-    }
-
-    /// Zeroes every bucket.  Quiescent only: concurrent `record`s may be
-    /// lost or survive, so call it between phases (e.g. after prefill),
-    /// never under traffic.
-    pub fn reset(&self) {
-        for bucket in &self.buckets {
-            bucket.store(0, Ordering::Relaxed);
-        }
-    }
-
-    /// Folds `other`'s samples into `self`, bucket by bucket (saturating).
-    ///
-    /// This is how per-shard-worker histograms are aggregated without any
-    /// locking on the hot path: each shard owner records into its own
-    /// histogram with relaxed adds, and a reporting thread merges the
-    /// per-shard instances into a scratch histogram when asked.  The merge
-    /// itself is a racy-but-monotone snapshot, same contract as
-    /// [`count`](Self::count) under concurrent `record`s.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            let merged = (*mine.get_mut()).saturating_add(theirs.load(Ordering::Relaxed));
-            *mine.get_mut() = merged;
-        }
-    }
-
-    /// Arithmetic mean of the recorded samples, approximated by bucket
-    /// midpoints; 0 for an empty histogram.
-    pub fn approx_mean(&self) -> f64 {
-        let mut total = 0u64;
-        let mut weighted = 0f64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let n = bucket.load(Ordering::Relaxed);
-            if n > 0 {
-                let midpoint = if i == 0 { 1.0 } else { 1.5 * (1u64 << i) as f64 };
-                weighted += n as f64 * midpoint;
-                total += n;
-            }
-        }
-        if total == 0 {
-            0.0
-        } else {
-            weighted / total as f64
-        }
-    }
-}
+use obs::Sample;
 
 /// Operation counters for one shard or one namespace.
 ///
@@ -166,12 +40,18 @@ pub struct OpCounters {
 impl OpCounters {
     #[inline]
     pub(crate) fn record_get(&self, hit: bool) {
+        if !obs::ENABLED {
+            return;
+        }
         self.gets.fetch_add(1, Ordering::Relaxed);
         self.record_lookup(hit);
     }
 
     #[inline]
     pub(crate) fn record_lookup(&self, hit: bool) {
+        if !obs::ENABLED {
+            return;
+        }
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -181,26 +61,41 @@ impl OpCounters {
 
     #[inline]
     pub(crate) fn record_put(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.puts.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_delete(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.deletes.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_scan(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.scans.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_mget(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.mgets.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_mput(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.mputs.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -274,6 +169,40 @@ impl OpCounters {
             hits as f64 / (hits + misses) as f64
         }
     }
+
+    /// Emits this counter set as labeled samples: one `ops_name{label,op=*}`
+    /// counter per op family and `lookups_name{label,outcome=hit|miss}`.
+    /// All eight are emitted even when zero, so scrape consumers see a
+    /// stable shape.
+    fn collect(
+        &self,
+        out: &mut Vec<Sample>,
+        ops_name: &'static str,
+        lookups_name: &'static str,
+        label: &'static str,
+        index: usize,
+    ) {
+        for (op, value) in [
+            ("get", self.gets()),
+            ("put", self.puts()),
+            ("delete", self.deletes()),
+            ("scan", self.scans()),
+            ("mget", self.mgets()),
+            ("mput", self.mputs()),
+        ] {
+            out.push(Sample::counter(ops_name, value).with(label, index).with("op", op));
+        }
+        out.push(
+            Sample::counter(lookups_name, self.hits())
+                .with(label, index)
+                .with("outcome", "hit"),
+        );
+        out.push(
+            Sample::counter(lookups_name, self.misses())
+                .with(label, index)
+                .with("outcome", "miss"),
+        );
+    }
 }
 
 /// All service-level statistics: per-shard counters, per-namespace counters,
@@ -283,6 +212,9 @@ pub struct ServiceStats {
     shards: Vec<OpCounters>,
     namespaces: Vec<OpCounters>,
     /// Latency of point requests (`Get`/`Put`/`Delete`), in nanoseconds.
+    /// **Sampled**: recorded for the same deterministic 1-in-16 subset the
+    /// stage trace follows, so the untraced majority of point ops reads no
+    /// clock at all (quantiles stay unbiased; `count()` is ~ops/16).
     pub point_latency_ns: Histogram,
     /// Latency of whole batched requests (`MGet`/`MPut`), in nanoseconds.
     pub batch_latency_ns: Histogram,
@@ -312,11 +244,17 @@ impl ServiceStats {
 
     #[inline]
     pub(crate) fn record_cache_hit(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn record_shed(&self) {
+        if !obs::ENABLED {
+            return;
+        }
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -381,6 +319,29 @@ impl ServiceStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.shed.store(0, Ordering::Relaxed);
     }
+
+    /// Registry source: emits every service-level metric (the `kv_*` rows
+    /// of the metric table in the repository README).
+    pub fn collect(&self, out: &mut Vec<Sample>) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.collect(out, "kv_ops_total", "kv_lookups_total", "shard", i);
+        }
+        for (i, ns) in self.namespaces.iter().enumerate() {
+            ns.collect(
+                out,
+                "kv_namespace_ops_total",
+                "kv_namespace_lookups_total",
+                "namespace",
+                i,
+            );
+        }
+        out.push(Sample::counter("kv_cache_hits_total", self.cache_hits()));
+        out.push(Sample::counter("kv_shed_total", self.shed()));
+        out.push(Sample::histogram("kv_point_latency_ns", &self.point_latency_ns));
+        out.push(Sample::histogram("kv_batch_latency_ns", &self.batch_latency_ns));
+        out.push(Sample::histogram("kv_scan_latency_ns", &self.scan_latency_ns));
+        out.push(Sample::histogram("kv_batch_size", &self.batch_size));
+    }
 }
 
 #[cfg(test)]
@@ -388,65 +349,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_by_power_of_two() {
-        let h = Histogram::new();
-        for v in [0, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 8);
-        // 0 and 1 share bucket 0; 2 and 3 share bucket 1.
-        assert_eq!(h.buckets[0].load(Ordering::Relaxed), 2);
-        assert_eq!(h.buckets[1].load(Ordering::Relaxed), 2);
-        assert_eq!(h.buckets[63].load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn quantiles_resolve_to_bucket_bounds() {
-        let h = Histogram::new();
-        for _ in 0..99 {
-            h.record(100); // bucket 6, upper bound 127
-        }
-        h.record(1 << 20); // one outlier
-        assert_eq!(h.p50(), Some(127));
-        assert_eq!(h.p99(), Some(127));
-        assert_eq!(h.quantile(1.0), Some((1 << 21) - 1));
-        // True mean ~10.6k; the bucket-midpoint approximation may be off by
-        // up to the 2x bucket width.
-        let mean = h.approx_mean();
-        assert!(mean > 90.0 && mean < 22_000.0, "mean = {mean}");
-    }
-
-    #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let h = Histogram::new();
-        for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(h.quantile(q), None, "q = {q}");
-        }
-        assert_eq!(h.p50(), None);
-        assert_eq!(h.p99(), None);
-        // A single bucket-0 sample is `Some` — the empty sentinel must not
-        // be confusable with a real (tiny) quantile.
-        h.record(0);
-        assert_eq!(h.p50(), Some(1));
-        assert_ne!(h.p50(), None);
-        // ... and reset returns the histogram to the no-quantiles state.
-        h.reset();
-        assert_eq!(h.p99(), None);
-    }
-
-    #[test]
-    fn quantile_of_max_value_saturates() {
-        let h = Histogram::new();
-        h.record(u64::MAX);
-        assert_eq!(h.p50(), Some(u64::MAX), "saturated, not None");
-        // Out-of-range and NaN quantiles clamp instead of panicking.
-        assert_eq!(h.quantile(-3.0), Some(u64::MAX));
-        assert_eq!(h.quantile(42.0), Some(u64::MAX));
-        assert_eq!(h.quantile(f64::NAN), Some(u64::MAX));
-    }
-
-    #[test]
     fn counters_and_hit_rate() {
+        if !obs::ENABLED {
+            return; // recording is compiled out
+        }
         let c = OpCounters::default();
         assert_eq!(c.hit_rate(), 0.0, "no lookups yet");
         c.record_get(true);
@@ -471,58 +377,6 @@ mod tests {
     }
 
     #[test]
-    fn merge_folds_buckets_and_preserves_quantiles() {
-        let fast = Histogram::new();
-        for _ in 0..90 {
-            fast.record(100); // bucket 6, upper bound 127
-        }
-        let slow = Histogram::new();
-        for _ in 0..10 {
-            slow.record(1 << 20); // bucket 20
-        }
-        let mut merged = Histogram::new();
-        merged.merge(&fast);
-        merged.merge(&slow);
-        assert_eq!(merged.count(), 100);
-        // The merged distribution is exactly the union: p50 from the fast
-        // source, p99 from the slow tail neither source had alone.
-        assert_eq!(merged.p50(), Some(127));
-        assert_eq!(merged.p99(), Some((1 << 21) - 1));
-        assert_eq!(fast.p99(), Some(127), "sources are untouched");
-        assert_eq!(slow.count(), 10);
-    }
-
-    #[test]
-    fn merge_with_empty_respects_the_option_api() {
-        // Merging empty histograms must not manufacture samples: the
-        // no-quantiles `None` state from PR 5 has to survive.
-        let mut merged = Histogram::new();
-        merged.merge(&Histogram::new());
-        assert_eq!(merged.count(), 0);
-        assert_eq!(merged.p50(), None);
-        assert_eq!(merged.p99(), None);
-        // Empty + non-empty behaves like a copy.
-        let source = Histogram::new();
-        source.record(0);
-        source.record(u64::MAX);
-        merged.merge(&source);
-        assert_eq!(merged.count(), 2);
-        assert_eq!(merged.p50(), Some(1));
-        assert_eq!(merged.quantile(1.0), Some(u64::MAX), "saturated top bucket");
-    }
-
-    #[test]
-    fn merge_saturates_instead_of_wrapping() {
-        let mut merged = Histogram::new();
-        merged.buckets[0].store(u64::MAX - 1, Ordering::Relaxed);
-        let source = Histogram::new();
-        source.record(0);
-        source.record(1);
-        merged.merge(&source);
-        assert_eq!(merged.buckets[0].load(Ordering::Relaxed), u64::MAX);
-    }
-
-    #[test]
     fn reset_clears_everything() {
         let stats = ServiceStats::new(2, 2);
         stats.shard(0).record_get(true);
@@ -531,8 +385,10 @@ mod tests {
         stats.batch_size.record(16);
         stats.record_cache_hit();
         stats.record_shed();
-        assert_eq!(stats.cache_hits(), 1);
-        assert_eq!(stats.shed(), 1);
+        if obs::ENABLED {
+            assert_eq!(stats.cache_hits(), 1);
+            assert_eq!(stats.shed(), 1);
+        }
         stats.reset();
         assert_eq!(stats.total_ops(), 0);
         assert_eq!(stats.shard(0).hits(), 0);
@@ -552,5 +408,48 @@ mod tests {
         assert_eq!(stats.namespace_slot(key_t6), 2, "tenant 6 % 4 slots");
         assert_eq!(stats.shards().len(), 2);
         assert_eq!(stats.namespaces().len(), 4);
+    }
+
+    #[test]
+    fn collect_emits_the_documented_metric_names() {
+        if !obs::ENABLED {
+            return;
+        }
+        let stats = ServiceStats::new(2, 1);
+        stats.shard(0).record_get(true);
+        stats.shard(1).record_put();
+        stats.namespace(0).record_lookup(false);
+        stats.record_shed();
+        stats.point_latency_ns.record(500);
+        let mut out = Vec::new();
+        stats.collect(&mut out);
+        let text = obs::expo::render(&out);
+        let parsed = obs::expo::parse(&text).unwrap();
+        assert_eq!(
+            obs::expo::value(&parsed, "kv_ops_total", &[("shard", "0"), ("op", "get")]),
+            Some(1)
+        );
+        assert_eq!(
+            obs::expo::value(&parsed, "kv_ops_total", &[("shard", "1"), ("op", "put")]),
+            Some(1)
+        );
+        assert_eq!(
+            obs::expo::sum(&parsed, "kv_ops_total", &[("op", "delete")]),
+            0,
+            "zero-valued rows are emitted, not skipped"
+        );
+        assert_eq!(
+            obs::expo::value(
+                &parsed,
+                "kv_namespace_lookups_total",
+                &[("namespace", "0"), ("outcome", "miss")]
+            ),
+            Some(1)
+        );
+        assert_eq!(obs::expo::value(&parsed, "kv_shed_total", &[]), Some(1));
+        assert_eq!(
+            obs::expo::value(&parsed, "kv_point_latency_ns_count", &[]),
+            Some(1)
+        );
     }
 }

@@ -47,6 +47,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 
 use abtree::MapHandle;
+use obs::{Stage, StageTrace, Stamp};
 
 use crate::queue::{Consumer, Producer, PushError};
 use crate::service::ShardStore;
@@ -82,10 +83,15 @@ pub(crate) enum ShardReply {
     Entries { entries: Vec<(u64, u64)> },
 }
 
-/// The worker end of one router's lane pair.
+/// The worker end of one router's lane pair.  Every job rides with a
+/// stage-trace [`Stamp`] — the router's post-enqueue time for a sampled
+/// request, [`Stamp::NONE`] otherwise — and every reply carries the
+/// post-apply stamp back so the router can time the reply-lane wait.
+/// With telemetry compiled out `Stamp` is a ZST and the tuples cost
+/// nothing.
 pub(crate) struct Lane {
-    pub(crate) jobs: Consumer<ShardJob>,
-    pub(crate) replies: Producer<ShardReply>,
+    pub(crate) jobs: Consumer<(Stamp, ShardJob)>,
+    pub(crate) replies: Producer<(Stamp, ShardReply)>,
 }
 
 /// Shared coordination state of one shard, owned by its [`ShardCell`].
@@ -166,6 +172,9 @@ impl ShardState {
 pub(crate) struct ShardCell {
     pub(crate) store: Box<dyn ShardStore>,
     pub(crate) state: ShardState,
+    /// The service-wide stage trace; the owner records its `Dequeue` and
+    /// `Apply` stages into it for requests the router sampled.
+    pub(crate) trace: Arc<StageTrace>,
 }
 
 /// How many consecutive empty scans the worker tolerates before it
@@ -179,6 +188,9 @@ pub(crate) fn run_shard_owner(cell: Arc<ShardCell>) {
     // The single long-lived session this whole design exists to create:
     // opened on the owner thread, kept until shutdown.
     let mut handle = cell.store.handle();
+    // Unsampled recorder: whether a request is traced was decided by the
+    // router at submit time and rides in on the job's stamp.
+    let recorder = cell.trace.recorder();
     let mut lanes: Vec<Lane> = Vec::new();
     let mut seen_generation = 0u64;
     let mut quiet_scans = 0u32;
@@ -191,13 +203,18 @@ pub(crate) fn run_shard_owner(cell: Arc<ShardCell>) {
         let mut served = 0usize;
         lanes.retain_mut(|lane| {
             let mut run = 0u64;
-            while let Some(job) = lane.jobs.try_pop() {
+            while let Some((stamp, job)) = lane.jobs.try_pop() {
+                // Queue wait (post-enqueue to pop), then execution; both
+                // no-ops for the untraced majority.  The post-apply stamp
+                // rides back on the reply so the router can time `Ack`.
+                let dequeued = recorder.record(Stage::Dequeue, stamp);
                 let reply = execute(&mut *handle, state, job);
+                let applied = recorder.record(Stage::Apply, dequeued);
                 // The router bounds its in-flight requests by the lane
                 // capacity, so a live reply ring always has room; a
                 // disconnected one means the router is gone and the reply
                 // is undeliverable — drop it.
-                match lane.replies.try_push(reply) {
+                match lane.replies.try_push((applied, reply)) {
                     Ok(()) | Err(PushError::Disconnected(_)) => {}
                     Err(PushError::Full(_)) => {
                         unreachable!("reply lane overflowed its in-flight cap")

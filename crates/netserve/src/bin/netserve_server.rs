@@ -1,18 +1,25 @@
 //! A standalone netserve server over elim-abtree shards.
 //!
 //! ```text
-//! netserve_server [--addr HOST:PORT] [--shards N] [--reactors N] [--selftest]
+//! netserve_server [--addr HOST:PORT] [--shards N] [--reactors N]
+//!                 [--stats-dump] [--selftest]
 //! ```
 //!
 //! Default mode binds the address, prints it, and serves until stdin
 //! reaches EOF (so `netserve_server < /dev/null` starts, drains, and
-//! exits cleanly — handy under process supervisors and in scripts).
+//! exits cleanly — handy under process supervisors and in scripts).  A
+//! final stats snapshot is printed after the graceful shutdown;
+//! `--stats-dump` additionally prints the full Prometheus-style text
+//! exposition of the service's metric registry (the same text a wire
+//! `Request::Stats` scrape returns).
 //!
 //! `--selftest` is the CI smoke mode: bind an ephemeral loopback port,
-//! run a mixed workload from several client threads, then shut down
-//! gracefully and verify every in-flight frame was answered and every
-//! thread joined.  Exits non-zero on any failure.
+//! run a mixed workload from several client threads, scrape the metric
+//! registry over the wire and cross-check it against the observed
+//! traffic, then shut down gracefully and verify every in-flight frame
+//! was answered and every thread joined.  Exits non-zero on any failure.
 
+use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +32,7 @@ struct Args {
     shards: usize,
     reactors: usize,
     selftest: bool,
+    stats_dump: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 4,
         reactors: 2,
         selftest: false,
+        stats_dump: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--reactors: {e}"))?
             }
             "--selftest" => args.selftest = true,
+            "--stats-dump" => args.stats_dump = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -97,7 +107,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("netserve listening on {}", server.local_addr());
+    // With --stats-dump the exposition owns stdout (so it pipes straight
+    // into a parser); chatter goes to stderr.
+    let mut chatter: Box<dyn std::io::Write> = if args.stats_dump {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::io::stdout())
+    };
+    let _ = writeln!(chatter, "netserve listening on {}", server.local_addr());
 
     // Serve until stdin closes.
     let mut sink = Vec::new();
@@ -105,13 +122,22 @@ fn main() -> ExitCode {
 
     server.shutdown();
     let stats = server.stats();
-    println!(
+    let _ = writeln!(
+        chatter,
         "served {} frames / {} requests over {} connections ({} protocol errors)",
         stats.frames(),
         stats.requests(),
         stats.accepted(),
         stats.protocol_errors()
     );
+    if args.stats_dump {
+        // Shutdown unregistered the server's registry source, so graft the
+        // front end's *final* counters (drained frames included) back onto
+        // the service-side samples for the farewell dump.
+        let mut samples = svc.registry().snapshot();
+        stats.collect(&mut samples);
+        print!("{}", obs::expo::render(&samples));
+    }
     ExitCode::SUCCESS
 }
 
@@ -184,21 +210,36 @@ fn selftest(shards: usize, reactors: usize) -> ExitCode {
         }
     }
 
+    // Wire-level scrape while the server is still up: the metric registry
+    // must be reachable as a 0x07 Stats frame, parse back, and agree with
+    // the traffic the clients just pushed (every worker has joined, so
+    // the counters are quiescent — equality, not just a lower bound).
+    let expected_frames = CLIENTS * FRAMES_PER_CLIENT;
+    match scrape_check(addr, expected_frames) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("selftest: stats scrape: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     server.shutdown();
     if !server.is_shut_down() {
         eprintln!("selftest: server did not report shutdown");
         return ExitCode::FAILURE;
     }
     let stats = server.stats();
-    let expected_frames = CLIENTS * FRAMES_PER_CLIENT;
     let expected_requests = expected_frames * 4;
-    if stats.frames() != expected_frames || stats.requests() != expected_requests {
+    // The scrape connection itself served one more frame of one request.
+    // NetStats is functional accounting, so this holds in both telemetry
+    // configurations.
+    if stats.frames() != expected_frames + 1 || stats.requests() != expected_requests + 1 {
         eprintln!(
             "selftest: served {}/{} frames, {}/{} requests",
             stats.frames(),
-            expected_frames,
+            expected_frames + 1,
             stats.requests(),
-            expected_requests
+            expected_requests + 1
         );
         return ExitCode::FAILURE;
     }
@@ -218,4 +259,52 @@ fn selftest(shards: usize, reactors: usize) -> ExitCode {
         stats.hwm_pauses()
     );
     ExitCode::SUCCESS
+}
+
+/// Scrapes the live server over the wire (a 0x07 Stats frame) and
+/// cross-checks the exposition against the traffic the selftest pushed:
+/// every frame carried exactly one point put and one point get, so with
+/// the workers joined the per-shard op counters must sum to exactly that.
+fn scrape_check(addr: std::net::SocketAddr, expected_frames: u64) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let text = client.scrape().map_err(|e| e.to_string())?;
+    let samples = obs::expo::parse(&text).map_err(|e| format!("exposition: {e}"))?;
+    // Structural rows are present even with recording compiled out.
+    for name in ["kv_shard_version", "ebr_epoch", "net_frames_total"] {
+        if !samples.iter().any(|s| s.name == name) {
+            return Err(format!("metric {name} missing from the scrape"));
+        }
+    }
+    if !obs::ENABLED {
+        return Ok(());
+    }
+    for op in ["put", "get"] {
+        let counted = obs::expo::sum(&samples, "kv_ops_total", &[("op", op)]);
+        if counted != expected_frames {
+            return Err(format!(
+                "kv_ops_total{{op={op}}} sums to {counted}, expected {expected_frames}"
+            ));
+        }
+    }
+    // The scrape's own frame is counted before it renders the registry.
+    let frames = obs::expo::sum(&samples, "net_frames_total", &[]);
+    if frames != expected_frames + 1 {
+        return Err(format!(
+            "net_frames_total is {frames}, expected {}",
+            expected_frames + 1
+        ));
+    }
+    let per_reactor = obs::expo::sum(&samples, "net_reactor_frames_total", &[]);
+    if per_reactor != frames {
+        return Err(format!(
+            "per-reactor frame counters sum to {per_reactor}, aggregate says {frames}"
+        ));
+    }
+    // Sampled stage tracing saw the load: 1600 point submissions at
+    // 1-in-16 sampling leave ~100 traces in the apply-stage histogram.
+    let applies = obs::expo::sum(&samples, "stage_latency_ns_count", &[("stage", "apply")]);
+    if applies == 0 {
+        return Err("stage_latency_ns{stage=apply} recorded nothing under load".into());
+    }
+    Ok(())
 }

@@ -107,6 +107,23 @@ impl Client {
         self.recv()
     }
 
+    /// Scrapes the server's metric registry over the wire: one
+    /// [`Request::Stats`] frame, answered with the Prometheus-style text
+    /// exposition of every registered metric (parse it with
+    /// [`obs::expo::parse`]).  FIFO like any other frame, so a scrape on
+    /// this connection observes at least the effects of every response
+    /// already received on it.
+    pub fn scrape(&mut self) -> io::Result<String> {
+        let mut replies = self.call(&[Request::Stats])?;
+        match (replies.len(), replies.pop()) {
+            (1, Some(Response::Stats(text))) => Ok(text),
+            (_, other) => Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("stats scrape answered {other:?}"),
+            )),
+        }
+    }
+
     /// Frames sent whose responses have not been received yet.
     pub fn in_flight(&self) -> usize {
         self.in_flight

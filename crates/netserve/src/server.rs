@@ -49,13 +49,14 @@
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kvserve::codec::{decode_batch, encode_response_batch};
 use kvserve::{KvService, Response, ShardRouter};
+use obs::{Registry, Sample, SourceId, Stage, StageRecorder, Stamp};
 use polling::Poller;
 
 use crate::frame::{self, FrameDecoder, FrameError};
@@ -139,6 +140,9 @@ struct Inbox {
 struct Shared {
     shutdown: AtomicBool,
     stats: NetStats,
+    /// Frames served per reactor thread, for the `net_reactor_frames_total`
+    /// metric — the load-balance view the aggregate counter cannot give.
+    reactor_frames: Box<[AtomicU64]>,
     pollers: Vec<Arc<Poller>>,
     /// Connections accepted by one reactor, awaiting adoption by another.
     inboxes: Vec<Mutex<Inbox>>,
@@ -150,6 +154,11 @@ pub struct Server {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     local_addr: SocketAddr,
+    /// The service registry this server's `net_*` source is registered in,
+    /// and the source's id — the server outlives neither, so shutdown
+    /// unregisters (the service, and its registry, outlive the server).
+    registry: Arc<Registry>,
+    source: Option<SourceId>,
 }
 
 impl Server {
@@ -169,12 +178,29 @@ impl Server {
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             stats: NetStats::default(),
+            reactor_frames: (0..reactors).map(|_| AtomicU64::new(0)).collect(),
             pollers,
             inboxes: (0..reactors)
                 .map(|_| Mutex::new(Inbox { open: true, streams: Vec::new() }))
                 .collect(),
             next_reactor: AtomicUsize::new(0),
         });
+
+        // The front end reports into the *service's* registry, so one
+        // scrape — wire or in-process — covers the whole stack.
+        let registry = Arc::clone(service.registry());
+        let source = {
+            let shared = Arc::clone(&shared);
+            registry.register(move |out: &mut Vec<Sample>| {
+                shared.stats.collect(out);
+                for (index, frames) in shared.reactor_frames.iter().enumerate() {
+                    out.push(
+                        Sample::counter("net_reactor_frames_total", frames.load(Ordering::Relaxed))
+                            .with("reactor", index),
+                    );
+                }
+            })
+        };
 
         let mut threads = Vec::with_capacity(reactors);
         let mut listener = Some(listener);
@@ -195,6 +221,8 @@ impl Server {
             shared,
             threads,
             local_addr,
+            registry,
+            source: Some(source),
         })
     }
 
@@ -219,6 +247,12 @@ impl Server {
         }
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+        // The registry outlives the server (it belongs to the service):
+        // pull the `net_*` source so later scrapes stop reporting a front
+        // end that no longer exists.  `stats()` stays readable directly.
+        if let Some(source) = self.source.take() {
+            self.registry.unregister(source);
         }
     }
 
@@ -286,6 +320,10 @@ struct Reactor<'s> {
     idle_ms: u64,
     draining: bool,
     drain_deadline: u64,
+    /// Stage recorder for the wire-side stages (`Recv`, `Decode`,
+    /// `Write`); recorded per read pass / per frame, which is already
+    /// amortized over the requests inside, so it is unsampled.
+    recorder: StageRecorder,
     // Scratch buffers reused across frames.
     read_buf: Vec<u8>,
     frames: Vec<Vec<u8>>,
@@ -315,12 +353,14 @@ impl<'s> Reactor<'s> {
                 .add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)
                 .expect("register listener");
         }
+        let recorder = router.service().stage_trace().recorder();
         Self {
             index,
             shared,
             poller,
             config,
             router,
+            recorder,
             listener,
             listener_paused: false,
             conns: Vec::new(),
@@ -537,6 +577,7 @@ impl<'s> Reactor<'s> {
             if conn.paused || conn.closing {
                 break;
             }
+            let read_start = Stamp::now();
             match conn.stream.read(&mut self.read_buf) {
                 Ok(0) => {
                     self.close(token);
@@ -546,6 +587,8 @@ impl<'s> Reactor<'s> {
                     conn.idle_deadline = now.saturating_add(self.idle_ms);
                     budget = budget.saturating_sub(n);
                     let pushed = conn.decoder.push(&self.read_buf[..n], &mut self.frames);
+                    // Recv stage: the read syscall plus frame reassembly.
+                    self.recorder.record(Stage::Recv, read_start);
                     if !self.frames.is_empty() {
                         self.serve_frames(token);
                     }
@@ -637,18 +680,25 @@ impl<'s> Reactor<'s> {
     /// protocol error).
     fn serve_one(&mut self, token: usize, payload: &[u8]) -> bool {
         self.shared.stats.add_frames(1);
+        if obs::ENABLED {
+            self.shared.reactor_frames[self.index].fetch_add(1, Ordering::Relaxed);
+        }
         if self.draining {
             self.shared.stats.add_drained_frames(1);
         }
+        let frame_start = Stamp::now();
         let Ok(batch) = decode_batch(payload) else {
             self.protocol_error(token, ERR_BAD_BATCH);
             return false;
         };
         self.shared.stats.add_requests(batch.len() as u64);
+        self.recorder.record(Stage::Decode, frame_start);
         // Pipelined routing: point requests overlap across shard lanes; a
         // full lane surfaces as a wire `Overloaded`, so this never blocks
-        // the reactor on backpressure.
+        // the reactor on backpressure.  (Its interior is what the sampled
+        // Enqueue/Dequeue/Apply/Ack stages cover.)
         self.router.serve_pipelined(&batch, &mut self.responses);
+        let served = Stamp::now();
         encode_response_batch(&self.responses, &mut self.payload);
         self.wire.clear();
         frame::write_frame(&mut self.wire, &self.payload);
@@ -656,6 +706,8 @@ impl<'s> Reactor<'s> {
             return false;
         };
         conn.out.queue(&self.wire);
+        // Write stage: response encoding, framing, and backlog queueing.
+        self.recorder.record(Stage::Write, served);
         true
     }
 

@@ -2,10 +2,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use obs::Sample;
+
 /// Monotonic counters describing what the front end has done so far.
 ///
 /// All counters use relaxed atomics: they are observability, not
 /// synchronization, and individual reads may be mutually slightly stale.
+///
+/// Like crashkv's `durable_*` counters (and unlike the per-request
+/// telemetry in `kvserve`), these are *functional* lifecycle accounting —
+/// tests and shutdown checks reason about accepted/closed/reaped
+/// connections through them — so they are **not** gated on
+/// [`obs::ENABLED`] and stay exact with telemetry compiled out.  The
+/// costliest ones are two relaxed fetch-adds per served frame, next to a
+/// socket syscall.
 #[derive(Debug, Default)]
 pub struct NetStats {
     accepted: AtomicU64,
@@ -83,5 +93,41 @@ impl NetStats {
     /// Connections currently open (accepted minus closed).
     pub fn open_connections(&self) -> u64 {
         self.accepted().saturating_sub(self.closed())
+    }
+
+    /// Appends every counter as a `net_*` metric sample — the front end's
+    /// contribution to the service's [`obs::Registry`] scrape.
+    pub fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(Sample::counter("net_accepted_total", self.accepted()));
+        out.push(Sample::counter("net_closed_total", self.closed()));
+        out.push(Sample::gauge("net_open_connections", self.open_connections()));
+        out.push(Sample::counter("net_frames_total", self.frames()));
+        out.push(Sample::counter("net_requests_total", self.requests()));
+        out.push(Sample::counter("net_protocol_errors_total", self.protocol_errors()));
+        out.push(Sample::counter("net_hwm_pauses_total", self.hwm_pauses()));
+        out.push(Sample::counter("net_hwm_resumes_total", self.hwm_resumes()));
+        out.push(Sample::counter("net_idle_evictions_total", self.idle_evictions()));
+        out.push(Sample::counter("net_accept_pauses_total", self.accept_pauses()));
+        out.push(Sample::counter("net_drained_frames_total", self.drained_frames()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_emits_every_counter_family() {
+        let stats = NetStats::default();
+        stats.add_accepted(3);
+        stats.add_frames(7);
+        let mut out = Vec::new();
+        stats.collect(&mut out);
+        assert_eq!(out.len(), 11, "one sample per counter family");
+        let text = obs::expo::render(&out);
+        // Functional counters: exact in both telemetry configurations.
+        assert!(text.contains("net_accepted_total 3"));
+        assert!(text.contains("net_frames_total 7"));
+        assert!(text.contains("net_open_connections"));
     }
 }

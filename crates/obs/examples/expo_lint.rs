@@ -1,0 +1,34 @@
+//! Lint a text exposition from stdin with the crate's own parser: exit 0
+//! and print a one-line summary if every row parses, exit 1 with the
+//! parse error otherwise.  CI pipes `netserve_server --stats-dump` through
+//! this, so a scrape that drifts from the format the `expo` parser (and
+//! any Prometheus-compatible collector) accepts fails the build.
+//!
+//! Usage: `some-scrape-producer | cargo run -p obs --example expo_lint`
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("expo_lint: reading stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match obs::expo::parse(&text) {
+        Ok(samples) => {
+            let names: std::collections::BTreeSet<&str> =
+                samples.iter().map(|s| s.name.as_str()).collect();
+            println!(
+                "expo_lint: ok — {} rows across {} metric names",
+                samples.len(),
+                names.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("expo_lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! The cost of the telemetry spine on the kvserve hot path.
+//!
+//! One experiment, run **twice** against the same binary source: once as a
+//! default build (`telemetry = "on"`) and once with the recording compiled
+//! out (`--features obs/compile-out`, `telemetry = "compiled-out"`).  Each
+//! run emits `experiment = "obs"` JSON rows on stderr; the checked-in
+//! `BENCH_obs.json` keeps a recorded pair, and the acceptance criterion is
+//! that the on/off throughput gap on this path stays **under 3%**.
+//!
+//! Two cells, each best-of-[`TRIALS`] (the artifact keeps every trial):
+//!
+//! * `cell = "pipelined"` — the service's hottest cross-thread path:
+//!   pipelined point requests (80% get / 15% put / 5% delete, Zipfian
+//!   tenants and keys) through `submit`/`collect` with a 16-deep in-flight
+//!   window.  Every operation crosses the op counters, the latency
+//!   histogram, the hot-key cache accounting, and the 1-in-16 sampled
+//!   stage trace.  Validated with the cross-shard key-sum check.  On a
+//!   single-CPU runner this cell timeshares the client with the shard
+//!   owners, so scheduling noise dominates — compare best-of trials, and
+//!   prefer the recorded multi-trial artifact over any single run.
+//! * `cell = "cached-get"` — the telemetry cost in isolation: point gets
+//!   served entirely by the router's hot-key cache (nothing in flight, so
+//!   no lane is crossed and the shard owners stay parked).  The operation
+//!   itself is a hash + cache probe; everything else on that path *is* the
+//!   telemetry (two stamp reads, the latency histogram, per-shard and
+//!   per-namespace counters, the trace sampler), which makes this the
+//!   sharpest on/off comparison a one-core machine can produce.
+//!
+//! A second row measures the pull cost of the registry itself: how long a
+//! full snapshot + text render takes while the service is loaded with the
+//! trial's counters (`scrape_us`).
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin bench_obs -- \[requests\] \[--threads N\]
+//!   cargo run -p setbench --release --bin bench_obs -- --smoke
+//!   cargo run -p setbench --release --features obs/compile-out --bin bench_obs
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kvserve::{KvService, Namespace, Request, Response, ShardStore};
+use rand::prelude::*;
+use setbench::make_structure;
+use workload::TenantKeyDistribution;
+
+/// Tenants in the workload (and namespace-stat slots).
+const TENANTS: u16 = 4;
+/// In-flight window per client: deep enough that the shard owners batch,
+/// matching the knee of the `kvserve_saturation` curve.
+const WINDOW: usize = 16;
+/// Measured trials per configuration; the headline is the best (on a
+/// shared/preemptible runner, the minimum-interference trial).
+const TRIALS: usize = 5;
+
+/// Point-op kinds tracked by the collection ledger.
+#[derive(Clone, Copy)]
+enum PointKind {
+    Get,
+    Put,
+    Delete,
+}
+
+/// Books one collected response against the key-sum ledger.
+fn settle(response: Response, kind: PointKind, key: u64) -> i128 {
+    let Response::Value(previous) = response else {
+        unreachable!("point submissions produce point responses");
+    };
+    match kind {
+        PointKind::Put if previous.is_none() => key as i128,
+        PointKind::Delete if previous.is_some() => -(key as i128),
+        _ => 0,
+    }
+}
+
+/// Prefills every tenant's key space to half full, returning the key-sum.
+fn prefill(service: &KvService, keys_per_tenant: u64, seed: u64) -> i128 {
+    let mut router = service.router();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum = 0i128;
+    for tenant in 0..TENANTS {
+        let ns = Namespace::new(tenant);
+        let mut inserted = 0u64;
+        while inserted < keys_per_tenant / 2 {
+            let key = ns.prefixed(rng.gen_range(0..keys_per_tenant));
+            if router.put(key, 1).is_none() {
+                inserted += 1;
+                sum += key as i128;
+            }
+        }
+    }
+    sum
+}
+
+/// One measured trial: `threads` clients each push `requests_per_thread`
+/// pipelined point requests.  Returns (duration_secs, key-sum delta).
+fn run_trial(
+    service: &Arc<KvService>,
+    keys_per_tenant: u64,
+    threads: usize,
+    requests_per_thread: u64,
+    seed: u64,
+) -> (f64, i128) {
+    let dist = TenantKeyDistribution::new(TENANTS, 1.0, keys_per_tenant, 1.0);
+    let started = Instant::now();
+    let mut net = 0i128;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..threads as u64 {
+            let service = Arc::clone(service);
+            let dist = dist.clone();
+            workers.push(scope.spawn(move || {
+                let mut router = service.router();
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x0B5 + 131 * t));
+                let mut ledger: VecDeque<(PointKind, u64)> = VecDeque::with_capacity(WINDOW);
+                let mut net = 0i128;
+                for _ in 0..requests_per_thread {
+                    let (tenant, key) = dist.sample(&mut rng);
+                    let packed = Namespace::new(tenant).prefixed(key);
+                    let roll: u32 = rng.gen_range(0..100);
+                    let (kind, request) = if roll < 80 {
+                        (PointKind::Get, Request::Get { key: packed })
+                    } else if roll < 95 {
+                        (PointKind::Put, Request::Put { key: packed, value: 1 })
+                    } else {
+                        (PointKind::Delete, Request::Delete { key: packed })
+                    };
+                    while router.in_flight() >= WINDOW {
+                        let (k, key) = ledger.pop_front().expect("ledger tracks the window");
+                        net += settle(router.collect(), k, key);
+                    }
+                    while router.submit(&request).is_err() {
+                        let (k, key) = ledger.pop_front().expect("ledger tracks the window");
+                        net += settle(router.collect(), k, key);
+                    }
+                    ledger.push_back((kind, packed));
+                }
+                while let Some((k, key)) = ledger.pop_front() {
+                    net += settle(router.collect(), k, key);
+                }
+                net
+            }));
+        }
+        for worker in workers {
+            net += worker.join().expect("bench worker panicked");
+        }
+    });
+    (started.elapsed().as_secs_f64(), net)
+}
+
+/// The cached-get cell: `total` point gets over a small hot set, every one
+/// served by the router's hot-key cache (nothing in flight, owners parked,
+/// no lane crossed).  The keys sit outside the prefill range so the warm
+/// pass defines them; no writes run during the measurement, so the shard
+/// versions stay valid and every measured get is a hit.  Returns seconds.
+fn cached_get_trial(service: &Arc<KvService>, total: u64) -> f64 {
+    const HOT: u64 = 16;
+    let base = 1 << 20;
+    let mut router = service.router();
+    let ns = Namespace::new(0);
+    for k in 0..HOT {
+        router.put(ns.prefixed(base + k), k);
+        std::hint::black_box(router.get(ns.prefixed(base + k)));
+    }
+    let started = Instant::now();
+    for i in 0..total {
+        std::hint::black_box(router.get(ns.prefixed(base + (i % HOT))));
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let requests_per_thread: u64 = if smoke {
+        20_000
+    } else {
+        args.get(1)
+            .filter(|a| !a.starts_with("--"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(500_000)
+    };
+    let keys_per_tenant: u64 = if smoke { 5_000 } else { 25_000 };
+    let shards = 4usize;
+    let seed = 0x0B5CAFE;
+    // Which build this process is: the *same source* reports differently
+    // under `--features obs/compile-out`, and the artifact pairs the rows.
+    let telemetry = if obs::ENABLED { "on" } else { "compiled-out" };
+
+    let service = Arc::new(KvService::new(shards, TENANTS as usize, |_| {
+        let shard: Box<dyn ShardStore> = Box::new(make_structure("elim-abtree"));
+        shard
+    }));
+    let mut expected_sum = prefill(&service, keys_per_tenant, seed);
+
+    println!(
+        "obs overhead (elim-abtree, {shards} shards, {threads} client threads, \
+         window {WINDOW}, telemetry {telemetry}):"
+    );
+    println!("{:>6} {:>12} {:>10}", "trial", "requests/us", "valid");
+    let requests = requests_per_thread * threads as u64;
+    let mut trial_mops = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        let (secs, net) = run_trial(
+            &service,
+            keys_per_tenant,
+            threads,
+            requests_per_thread,
+            seed ^ (trial as u64) << 16,
+        );
+        expected_sum += net;
+        let validated = service.key_sum() as i128 == expected_sum;
+        let mops = requests as f64 / secs / 1e6;
+        trial_mops.push(mops);
+        println!(
+            "{:>6} {:>12.3} {:>10}",
+            trial,
+            mops,
+            if validated { "ok" } else { "FAIL" }
+        );
+        assert!(validated, "key-sum validation failed at trial {trial}");
+    }
+    let best = trial_mops.iter().cloned().fold(f64::MIN, f64::max);
+
+    // The pull cost of the spine itself: a full snapshot + render of the
+    // loaded registry (per-shard op rows, EBR health, stage histograms).
+    // With recording compiled out, this is the cost of the structural rows.
+    let scrape_started = Instant::now();
+    const SCRAPES: u32 = 100;
+    let mut rendered = 0usize;
+    for _ in 0..SCRAPES {
+        rendered = std::hint::black_box(service.registry().render()).len();
+    }
+    let scrape_us = scrape_started.elapsed().as_secs_f64() * 1e6 / f64::from(SCRAPES);
+    println!("scrape: {scrape_us:.1} us per render ({rendered} bytes)");
+
+    let trials_json = trial_mops
+        .iter()
+        .map(|m| format!("{m}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!(
+        "{{\"experiment\":\"obs\",\"cell\":\"pipelined\",\"structure\":\"elim-abtree\",\
+         \"shards\":{shards},\"threads\":{threads},\"telemetry\":\"{telemetry}\",\
+         \"window\":{WINDOW},\"requests\":{requests},\"request_mops\":{best},\
+         \"trial_mops\":[{trials_json}],\"scrape_us\":{scrape_us},\
+         \"scrape_bytes\":{rendered}}}"
+    );
+
+    // The isolated-telemetry cell: single-threaded cache hits, owners
+    // parked.  This is the comparison the <3% acceptance criterion reads
+    // on machines where the pipelined cell is scheduler-bound.
+    let cached_total: u64 = if smoke { 500_000 } else { 10_000_000 };
+    println!();
+    println!("cached-get (hot-key cache hits, single thread, telemetry {telemetry}):");
+    println!("{:>6} {:>12}", "trial", "requests/us");
+    let mut cached_mops = Vec::with_capacity(TRIALS);
+    for trial in 0..TRIALS {
+        let secs = cached_get_trial(&service, cached_total);
+        let mops = cached_total as f64 / secs / 1e6;
+        cached_mops.push(mops);
+        println!("{trial:>6} {mops:>12.3}");
+    }
+    let cached_best = cached_mops.iter().cloned().fold(f64::MIN, f64::max);
+    let cached_json = cached_mops
+        .iter()
+        .map(|m| format!("{m}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    eprintln!(
+        "{{\"experiment\":\"obs\",\"cell\":\"cached-get\",\"structure\":\"elim-abtree\",\
+         \"shards\":{shards},\"threads\":1,\"telemetry\":\"{telemetry}\",\
+         \"requests\":{cached_total},\"request_mops\":{cached_best},\
+         \"trial_mops\":[{cached_json}]}}"
+    );
+}

@@ -26,6 +26,7 @@ use elim_abtree_repro::kvserve::{
     decode_batch, decode_response_batch, encode_batch, encode_response_batch, KvService,
     Namespace, Request, Response,
 };
+use elim_abtree_repro::obs;
 
 /// One request frame: the encoded batch plus the channel to answer on.
 type Frame = (Vec<u8>, mpsc::Sender<Vec<u8>>);
@@ -146,6 +147,19 @@ fn main() {
         fmt_ns(stats.batch_latency_ns.p50()),
         fmt_ns(stats.batch_latency_ns.p99()),
     );
+    // The same numbers, through the telemetry spine: render the service's
+    // metric registry (what a netserve `Stats` scrape ships over the wire)
+    // and read rows back with the expo helpers.
+    let samples = obs::expo::parse(&service.registry().render()).expect("well-formed exposition");
+    let gets = obs::expo::sum(&samples, "kv_ops_total", &[("op", "get")]);
+    println!(
+        "registry snapshot: {} rows; gets {}, mget keys {}, cache hits {}",
+        samples.len(),
+        gets,
+        obs::expo::sum(&samples, "kv_lookups_total", &[]) - gets,
+        obs::expo::sum(&samples, "kv_cache_hits_total", &[]),
+    );
+    assert_eq!(gets, TENANTS as u64 * BATCHES_PER_TENANT, "one Get per batch");
     // Cross-shard validation: the shards must hold exactly the keys the
     // tenants inserted.
     let expected: u128 = (0..TENANTS)

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use elim_abtree_repro::abtree::ElimABTree;
 use elim_abtree_repro::kvserve::{KvService, Namespace, Request, Response};
 use elim_abtree_repro::netserve::{Client, Server, ServerConfig};
+use elim_abtree_repro::obs;
 
 const TENANTS: u16 = 4;
 const BATCHES_PER_TENANT: u64 = 200;
@@ -94,7 +95,33 @@ fn main() {
         }
     });
 
-    // All clients have hung up; the drain is immediate.
+    // All tenants have hung up, so a scrape now reads quiescent counters:
+    // one `Stats` request over a fresh connection renders the server's
+    // whole registry — kv op counters, reactor counters, stage-trace
+    // histograms — as Prometheus-style text, and the expo helpers pull
+    // individual rows back out.
+    let mut probe = Client::connect(addr).expect("connect scrape probe");
+    let exposition = probe.scrape().expect("wire scrape");
+    drop(probe);
+    let samples = obs::expo::parse(&exposition).expect("well-formed exposition");
+    let point_ops: u64 = ["get", "put", "delete"]
+        .iter()
+        .map(|op| obs::expo::sum(&samples, "kv_ops_total", &[("op", op)]))
+        .sum();
+    println!(
+        "wire scrape: {} bytes / {} rows; kv point ops {}, shed {}, frames {}",
+        exposition.len(),
+        samples.len(),
+        point_ops,
+        obs::expo::sum(&samples, "kv_shed_total", &[]),
+        obs::expo::sum(&samples, "net_frames_total", &[]),
+    );
+    assert_eq!(point_ops, TENANTS as u64 * BATCHES_PER_TENANT, "one Get per batch");
+    if obs::ENABLED {
+        let spans = obs::expo::sum(&samples, "stage_latency_ns_count", &[("stage", "apply")]);
+        println!("stage trace: {spans} sampled apply spans on the scrape");
+    }
+
     server.shutdown();
     let net = server.stats();
     println!(
@@ -104,7 +131,8 @@ fn main() {
         net.accepted(),
         net.protocol_errors(),
     );
-    assert_eq!(net.frames(), TENANTS as u64 * BATCHES_PER_TENANT);
+    // + 1: the scrape probe's own `Stats` frame.
+    assert_eq!(net.frames(), TENANTS as u64 * BATCHES_PER_TENANT + 1);
     assert_eq!(net.open_connections(), 0);
 
     // Quiescent wrap-up, identical to the in-process example: per-tenant

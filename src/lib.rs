@@ -7,8 +7,10 @@ pub use absync as sync;
 pub use abtree;
 pub use baselines;
 pub use conctest;
+pub use crashkv;
 pub use kvserve;
 pub use netserve;
+pub use obs;
 pub use pabtree;
 pub use setbench;
 pub use workload;
