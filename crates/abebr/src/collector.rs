@@ -4,13 +4,14 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crossbeam_utils::CachePadded;
 
 use crate::guard::Guard;
 use crate::local::{Bag, Local, LocalHandle};
+use crate::smr::{RegisterError, Smr, SmrPolicy};
 use crate::{MAX_THREADS, QUIESCENT};
 
 /// One registration slot per participating thread.
@@ -50,8 +51,15 @@ pub(crate) struct Inner {
     /// Per-thread announcement slots.
     pub(crate) slots: Box<[CachePadded<Slot>]>,
     /// Garbage inherited from threads that unregistered before it was safe
-    /// to free.  Reclaimed opportunistically and on collector drop.
+    /// to free.  Drained during every collection cycle *and* by the
+    /// periodic unpin check (`Local::maybe_drain_stash`), so it cannot
+    /// grow unboundedly in a long-lived server whose surviving threads
+    /// never retire; collector drop frees whatever remains.
     pub(crate) stash: Mutex<Vec<Bag>>,
+    /// Number of bags currently in `stash`, maintained alongside it so
+    /// the per-unpin drain check never takes the lock when there is
+    /// nothing to drain.
+    pub(crate) stash_len: AtomicUsize,
     /// Total objects retired (statistics).
     pub(crate) retired: AtomicU64,
     /// Total objects freed (statistics).
@@ -66,7 +74,7 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let slots = (0..MAX_THREADS)
             .map(|_| CachePadded::new(Slot::new()))
             .collect::<Vec<_>>()
@@ -75,6 +83,7 @@ impl Inner {
             epoch: CachePadded::new(AtomicU64::new(0)),
             slots,
             stash: Mutex::new(Vec::new()),
+            stash_len: AtomicUsize::new(0),
             retired: AtomicU64::new(0),
             freed: AtomicU64::new(0),
             registry_pins: AtomicU64::new(0),
@@ -88,9 +97,11 @@ impl Inner {
         self.registry_pins.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Claims a free slot for the calling thread.  Panics if more than
-    /// [`MAX_THREADS`] threads register simultaneously.
-    pub(crate) fn register(&self) -> usize {
+    /// Claims a free slot for the calling thread, or returns
+    /// [`RegisterError`] when more than [`MAX_THREADS`] threads register
+    /// simultaneously — a wire-reachable condition for servers that spawn
+    /// workers on demand, so it must be surfaceable, not a panic.
+    pub(crate) fn register(&self) -> Result<usize, RegisterError> {
         self.count_registry_pin();
         for (i, slot) in self.slots.iter().enumerate() {
             if !slot.in_use.load(Ordering::Relaxed)
@@ -100,16 +111,20 @@ impl Inner {
                     .is_ok()
             {
                 slot.announce.store(QUIESCENT, Ordering::Release);
-                return i;
+                return Ok(i);
             }
         }
-        panic!("abebr: more than {MAX_THREADS} threads registered with one collector");
+        Err(RegisterError {
+            capacity: MAX_THREADS,
+        })
     }
 
     /// Releases a slot and stashes the thread's unreclaimed garbage.
     pub(crate) fn unregister(&self, slot: usize, leftover: Vec<Bag>) {
-        {
+        if !leftover.is_empty() {
             let mut stash = self.stash.lock().unwrap();
+            self.stash_len
+                .fetch_add(leftover.len(), Ordering::Relaxed);
             stash.extend(leftover);
         }
         let s = &self.slots[slot];
@@ -147,6 +162,9 @@ impl Inner {
 
     /// Frees stashed bags that have become safe at `global_epoch`.
     pub(crate) fn collect_stash(&self, global_epoch: u64) {
+        if self.stash_len.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         let mut to_free = Vec::new();
         {
             let mut stash = self.stash.lock().unwrap();
@@ -158,6 +176,7 @@ impl Inner {
                     i += 1;
                 }
             }
+            self.stash_len.store(stash.len(), Ordering::Relaxed);
         }
         let mut freed = 0u64;
         for bag in to_free {
@@ -184,7 +203,13 @@ impl Drop for Inner {
     }
 }
 
-/// Point-in-time statistics of a [`Collector`].
+/// Point-in-time statistics of a [`crate::Collector`].
+///
+/// The shape is shared by every [`Smr`] backend.  Field docs describe the
+/// EBR meanings; the hazard-pointer backend maps `epoch` to its global
+/// retire sequence number and `oldest_epoch_age` to how many retirements
+/// behind it the oldest still-held item is — the same "reclamation lag"
+/// reading either way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CollectorStats {
     /// Current global epoch.
@@ -194,8 +219,9 @@ pub struct CollectorStats {
     /// Total number of objects freed so far.
     pub freed: u64,
     /// Pins that interacted with the full thread registry: one per
-    /// [`Collector::pin`] call (thread-local lookup) plus one per slot
-    /// registration (including [`Collector::register`]).  A handle-driven
+    /// [`crate::Collector::pin`] call (thread-local lookup) plus one per
+    /// slot registration (including [`crate::Collector::register`]).  A
+    /// handle-driven
     /// workload therefore accrues ~1 of these per thread, a pin-per-op
     /// workload one per operation.  Registrations are counted immediately;
     /// the per-call portion is flushed lazily like `local_pins`.
@@ -218,22 +244,6 @@ pub struct CollectorStats {
     pub oldest_epoch_age: u64,
 }
 
-/// An epoch-based garbage collector shared by all threads operating on one
-/// (or several) concurrent data structures.
-///
-/// `Collector` is cheaply cloneable (it is a reference-counted handle); every
-/// clone refers to the same epoch and garbage state.
-#[derive(Debug, Clone)]
-pub struct Collector {
-    pub(crate) inner: Arc<Inner>,
-}
-
-impl Default for Collector {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 thread_local! {
     /// Per-thread cache of registrations, keyed by collector identity.
     /// Registrations are dropped (unregistering their slot and stashing
@@ -241,88 +251,67 @@ thread_local! {
     static LOCALS: RefCell<HashMap<usize, Rc<Local>>> = RefCell::new(HashMap::new());
 }
 
-impl Collector {
-    /// Creates a new collector with no registered threads.
-    pub fn new() -> Self {
-        Self {
-            inner: Arc::new(Inner::new()),
+/// Returns (creating and registering if necessary) the calling thread's
+/// cached registration for `inner`.  Panics when the slot table is full —
+/// this backs the infallible [`crate::Collector::pin`]/`flush` paths.
+fn cached_local(inner: Arc<Inner>) -> Rc<Local> {
+    LOCALS.with(|locals| {
+        let mut map = locals.borrow_mut();
+        let key = Arc::as_ptr(&inner) as usize;
+        if let Some(h) = map.get(&key) {
+            return Rc::clone(h);
         }
+        let local = Rc::new(Local::register(inner).unwrap_or_else(|e| panic!("{e}")));
+        map.insert(key, Rc::clone(&local));
+        local
+    })
+}
+
+impl Smr for Inner {
+    fn policy(&self) -> SmrPolicy {
+        SmrPolicy::Ebr
     }
 
-    fn key(&self) -> usize {
-        Arc::as_ptr(&self.inner) as usize
-    }
-
-    /// Returns (creating and registering if necessary) the calling thread's
-    /// cached registration for this collector.
-    fn local(&self) -> Rc<Local> {
-        LOCALS.with(|locals| {
-            let mut map = locals.borrow_mut();
-            if let Some(h) = map.get(&self.key()) {
-                return Rc::clone(h);
-            }
-            let local = Rc::new(Local::register(Arc::clone(&self.inner)));
-            map.insert(self.key(), Rc::clone(&local));
-            local
-        })
-    }
-
-    /// Pins the current thread, returning a guard.  While at least one guard
-    /// exists on this thread, memory retired by other threads after the pin
-    /// will not be freed, so pointers read from the shared structure remain
-    /// valid for the guard's lifetime.
-    ///
-    /// Every call looks the thread up in a thread-local registry.  Callers
-    /// that pin per operation should instead hold a [`LocalHandle`] from
-    /// [`Collector::register`], whose `pin` skips the lookup.
-    pub fn pin(&self) -> Guard {
-        let local = self.local();
+    fn pin(self: Arc<Self>) -> Guard {
+        let local = cached_local(self);
         local.count_registry_pin();
         Local::pin(&local);
         Guard::new(local)
     }
 
-    /// Registers the calling thread once and returns an **owned**
-    /// [`LocalHandle`] whose [`pin`](LocalHandle::pin) is a cheap local
-    /// epoch announcement with no registry lookup.  This is the intended
-    /// fast path for session-style callers (one handle per worker thread);
-    /// each call claims a fresh slot, so a thread may hold several
-    /// independent handles.
-    pub fn register(&self) -> LocalHandle {
-        LocalHandle::new(Arc::clone(&self.inner))
+    fn try_register(self: Arc<Self>) -> Result<LocalHandle, RegisterError> {
+        LocalHandle::new(self)
     }
 
-    /// Attempts to advance the epoch and reclaim any garbage (both the
-    /// calling thread's own bags and the shared stash) that has become safe.
-    pub fn flush(&self) {
-        let local = self.local();
-        local.flush();
+    fn flush(self: Arc<Self>) {
+        cached_local(self).flush();
     }
 
-    /// Returns current statistics (epoch, retired/freed object counts, and
-    /// the registry-pin vs local re-pin tallies; see [`CollectorStats`] for
-    /// the flushing caveat on `local_pins`).
-    pub fn stats(&self) -> CollectorStats {
-        let epoch = self.inner.epoch.load(Ordering::SeqCst);
-        let retired = self.inner.retired.load(Ordering::Relaxed);
-        let freed = self.inner.freed.load(Ordering::Relaxed);
+    /// Statistics of the EBR backend; `oldest_epoch_age` is recomputed
+    /// from live state (every in-use slot's published oldest bag plus the
+    /// stash) at scrape time, so it cannot pin stale after bags move or
+    /// drain behind a thread's back.
+    fn stats(&self) -> CollectorStats {
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let retired = self.retired.load(Ordering::Relaxed);
+        let freed = self.freed.load(Ordering::Relaxed);
         // Oldest still-held bag across live threads' slots and the stash
         // of bags inherited from exited threads.
         let mut oldest = u64::MAX;
-        for slot in self.inner.slots.iter() {
+        for slot in self.slots.iter() {
             if slot.in_use.load(Ordering::Acquire) {
                 oldest = oldest.min(slot.oldest_bag.load(Ordering::Acquire));
             }
         }
-        for bag in self.inner.stash.lock().unwrap().iter() {
+        for bag in self.stash.lock().unwrap().iter() {
             oldest = oldest.min(bag.epoch);
         }
         CollectorStats {
             epoch,
             retired,
             freed,
-            registry_pins: self.inner.registry_pins.load(Ordering::Relaxed),
-            local_pins: self.inner.local_pins.load(Ordering::Relaxed),
+            registry_pins: self.registry_pins.load(Ordering::Relaxed),
+            local_pins: self.local_pins.load(Ordering::Relaxed),
             // Saturating: `retired` and `freed` are read at different
             // instants under traffic, so `freed` can transiently lead.
             unreclaimed: retired.saturating_sub(freed),
@@ -334,9 +323,8 @@ impl Collector {
         }
     }
 
-    /// Debug/testing helper: is any registered thread currently pinned?
-    pub fn debug_any_thread_pinned(&self) -> bool {
-        self.inner.slots.iter().any(|s| {
+    fn any_thread_pinned(&self) -> bool {
+        self.slots.iter().any(|s| {
             s.in_use.load(Ordering::Acquire) && s.announce.load(Ordering::Acquire) != QUIESCENT
         })
     }
@@ -345,18 +333,32 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Collector;
 
     #[test]
     fn register_unregister_reuses_slots() {
         let inner = Inner::new();
-        let a = inner.register();
-        let b = inner.register();
+        let a = inner.register().unwrap();
+        let b = inner.register().unwrap();
         assert_ne!(a, b);
         inner.unregister(a, Vec::new());
-        let c = inner.register();
+        let c = inner.register().unwrap();
         assert_eq!(a, c, "freed slot should be reused first");
         inner.unregister(b, Vec::new());
         inner.unregister(c, Vec::new());
+    }
+
+    #[test]
+    fn register_returns_an_error_when_slots_run_out() {
+        let collector = Collector::new();
+        let held: Vec<_> = (0..crate::MAX_THREADS)
+            .map(|_| collector.register())
+            .collect();
+        let err = collector.try_register().expect_err("slot table is full");
+        assert_eq!(err.capacity, crate::MAX_THREADS);
+        assert!(err.to_string().contains("threads registered"));
+        drop(held);
+        let _h = collector.try_register().expect("slots released on drop");
     }
 
     #[test]
@@ -370,7 +372,7 @@ mod tests {
     #[test]
     fn advance_blocked_by_old_announcement() {
         let inner = Inner::new();
-        let slot = inner.register();
+        let slot = inner.register().unwrap();
         inner.slots[slot].announce.store(0, Ordering::SeqCst);
         assert_eq!(inner.try_advance(), 1, "thread at epoch 0 allows 0->1");
         assert_eq!(inner.try_advance(), 1, "thread still at epoch 0 blocks 1->2");
@@ -430,6 +432,33 @@ mod tests {
         assert_eq!(drained.unreclaimed, 0);
         assert_eq!(drained.oldest_epoch_age, 0, "no bags held, age resets");
         assert_eq!(drained.freed, 5);
+    }
+
+    #[test]
+    fn lag_gauge_resets_without_unregistering() {
+        // Regression test for the stale `oldest_bag` gauge: `try_collect`
+        // must republish the slot's oldest-bag epoch unconditionally, so
+        // once a still-registered thread's bags drain the scrape-time
+        // gauge drops back to 0 instead of pinning at the stale epoch.
+        let collector = Collector::new();
+        let worker = collector.register();
+        {
+            let guard = worker.pin();
+            let p = Box::into_raw(Box::new(0u8));
+            unsafe { guard.defer_drop(p) };
+        }
+        assert!(collector.stats().oldest_epoch_age <= 1);
+        for _ in 0..8 {
+            worker.flush();
+        }
+        let drained = collector.stats();
+        assert_eq!(drained.freed, 1);
+        assert_eq!(
+            drained.oldest_epoch_age, 0,
+            "gauge recomputed from live state while the thread stays registered"
+        );
+        // The handle is still registered and usable afterwards.
+        assert!(!worker.is_pinned());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::rc::Rc;
 
+use crate::hp::HpLocal;
 use crate::local::{Garbage, Local};
 
 /// A guard keeping the current thread pinned.
@@ -10,16 +11,39 @@ use crate::local::{Garbage, Local};
 /// after the pin took effect will not be freed, so raw pointers read from the
 /// shared structure during the guard's lifetime remain dereferenceable.
 ///
+/// Under the hazard-pointer backend a guard can be in one of two modes:
+/// **coarse** (from [`crate::Collector::pin`] / [`crate::LocalHandle::pin`],
+/// or after [`Guard::escalate`]) gives the blanket guarantee above, while
+/// **fine** (from [`crate::LocalHandle::pin_fine`]) protects only the
+/// pointers the caller publishes through [`Guard::protect`] and re-validates.
+/// [`Guard::needs_protect`] tells structure code which protocol applies;
+/// under EBR it is always `false` and the blanket guarantee always holds.
+///
 /// Guards are intentionally `!Send`: the pin is a property of the thread that
 /// created it.
 #[derive(Debug)]
 pub struct Guard {
-    local: Rc<Local>,
+    backend: GuardBackend,
+}
+
+/// The per-backend registration a [`Guard`] keeps pinned.
+#[derive(Debug)]
+enum GuardBackend {
+    Ebr(Rc<Local>),
+    Hp(Rc<HpLocal>),
 }
 
 impl Guard {
     pub(crate) fn new(local: Rc<Local>) -> Self {
-        Self { local }
+        Self {
+            backend: GuardBackend::Ebr(local),
+        }
+    }
+
+    pub(crate) fn new_hp(local: Rc<HpLocal>) -> Self {
+        Self {
+            backend: GuardBackend::Hp(local),
+        }
     }
 
     /// Retires a heap allocation created with [`Box::into_raw`].  The
@@ -39,64 +63,149 @@ impl Guard {
             // `defer_drop`, and is executed exactly once.
             drop(unsafe { Box::from_raw(p.cast::<T>()) });
         }
-        self.local.retire(Garbage::Object {
+        let garbage = Garbage::Object {
             ptr: ptr.cast(),
             destroy: destroy::<T>,
-        });
+        };
+        match &self.backend {
+            GuardBackend::Ebr(local) => local.retire(garbage),
+            GuardBackend::Hp(local) => local.retire(garbage),
+        }
     }
 
-    /// Defers an arbitrary closure until the current epoch becomes
-    /// reclaimable.  Useful for freeing allocations that were not created
-    /// with `Box` (for example arena-backed persistent nodes).
+    /// Defers an arbitrary closure until no thread can still hold a
+    /// reference to whatever it frees.  Useful for freeing allocations that
+    /// were not created with `Box` (for example arena-backed persistent
+    /// nodes).
+    ///
+    /// Note for the hazard-pointer backend: a deferred closure has no
+    /// address a fine-mode hazard could name, so only coarse watermarks
+    /// delay it — callers that hand out pointers into `f`'s allocation must
+    /// not rely on fine-mode [`Guard::protect`] to keep them alive.
     pub fn defer(&self, f: impl FnOnce() + Send + 'static) {
-        self.local.retire(Garbage::Deferred(Box::new(f)));
+        let garbage = Garbage::Deferred(Box::new(f));
+        match &self.backend {
+            GuardBackend::Ebr(local) => local.retire(garbage),
+            GuardBackend::Hp(local) => local.retire(garbage),
+        }
+    }
+
+    /// Does this guard require the fine-mode protect/validate protocol?
+    ///
+    /// `true` only for a hazard-pointer guard in fine mode: dereferencing a
+    /// pointer read from the structure is then only safe after publishing
+    /// it with [`Guard::protect`] and re-validating that it is still
+    /// reachable (e.g. the parent is unmarked and the child slot unchanged).
+    /// Always `false` under EBR and for coarse/escalated guards, whose
+    /// blanket pin makes every pointer read during the region safe.
+    #[inline]
+    pub fn needs_protect(&self) -> bool {
+        match &self.backend {
+            GuardBackend::Ebr(_) => false,
+            GuardBackend::Hp(local) => local.needs_protect(),
+        }
+    }
+
+    /// Publishes `ptr` in the calling thread's hazard slot `index`
+    /// (0..[`crate::HAZARD_SLOTS`]) and fences.  No-op under EBR.
+    ///
+    /// This alone does not make `ptr` dereferenceable: the caller must
+    /// re-validate after publishing (re-read the link that produced `ptr`
+    /// and check its source was not marked for unlinking); on validation
+    /// failure, restart the traversal.  Slots may be reused round-robin —
+    /// overwriting a slot drops protection of its previous pointer.
+    #[inline]
+    pub fn protect<T>(&self, index: usize, ptr: *mut T) {
+        if let GuardBackend::Hp(local) = &self.backend {
+            local.protect(index, ptr.cast());
+        }
+    }
+
+    /// Upgrades a fine-mode guard to coarse protection for the rest of its
+    /// region: everything retired from this point on stays alive until the
+    /// guard drops, exactly as if the region had started with a coarse
+    /// [`crate::LocalHandle::pin`].  No-op under EBR or when already
+    /// coarse.
+    ///
+    /// Structure code calls this *before* releasing the locks that pin its
+    /// foothold (e.g. when an update escalates into structural
+    /// rebalancing), so nodes it will traverse afterwards cannot be freed
+    /// between the unlock and the traversal.
+    #[inline]
+    pub fn escalate(&self) {
+        if let GuardBackend::Hp(local) = &self.backend {
+            local.escalate();
+        }
     }
 
     /// Number of garbage objects buffered by the current thread (testing).
     pub fn local_pending(&self) -> usize {
-        self.local.pending()
+        match &self.backend {
+            GuardBackend::Ebr(local) => local.pending(),
+            GuardBackend::Hp(local) => local.pending(),
+        }
     }
 
-    /// Eagerly attempts an epoch advance + collection cycle.
+    /// Eagerly attempts a reclamation cycle.
     pub fn flush(&self) {
-        self.local.flush();
+        match &self.backend {
+            GuardBackend::Ebr(local) => local.flush(),
+            GuardBackend::Hp(local) => local.flush(),
+        }
     }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        self.local.unpin();
+        match &self.backend {
+            GuardBackend::Ebr(local) => local.unpin(),
+            GuardBackend::Hp(local) => local.unpin(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::Collector;
+    use crate::{Collector, SmrPolicy};
 
     #[test]
     fn guard_is_reentrant_and_unpins_in_any_order() {
-        let c = Collector::new();
-        let g1 = c.pin();
-        let g2 = c.pin();
-        let g3 = c.pin();
-        drop(g2);
-        drop(g1);
-        assert!(c.debug_any_thread_pinned());
-        drop(g3);
-        assert!(!c.debug_any_thread_pinned());
+        for policy in SmrPolicy::ALL {
+            let c = Collector::with_policy(policy);
+            let g1 = c.pin();
+            let g2 = c.pin();
+            let g3 = c.pin();
+            drop(g2);
+            drop(g1);
+            assert!(c.debug_any_thread_pinned(), "{policy}");
+            drop(g3);
+            assert!(!c.debug_any_thread_pinned(), "{policy}");
+        }
     }
 
     #[test]
     fn guard_flush_reclaims_own_garbage_eventually() {
+        for policy in SmrPolicy::ALL {
+            let c = Collector::with_policy(policy);
+            {
+                let g = c.pin();
+                let p = Box::into_raw(Box::new([0u64; 8]));
+                unsafe { g.defer_drop(p) };
+            }
+            for _ in 0..8 {
+                c.flush();
+            }
+            assert_eq!(c.stats().freed, 1, "{policy}");
+        }
+    }
+
+    #[test]
+    fn ebr_guards_never_ask_for_protection() {
         let c = Collector::new();
-        {
-            let g = c.pin();
-            let p = Box::into_raw(Box::new([0u64; 8]));
-            unsafe { g.defer_drop(p) };
-        }
-        for _ in 0..8 {
-            c.flush();
-        }
-        assert_eq!(c.stats().freed, 1);
+        let h = c.register();
+        let g = h.pin_fine();
+        assert!(!g.needs_protect());
+        g.protect(0, std::ptr::null_mut::<u8>()); // no-op, must not panic
+        g.escalate(); // no-op
     }
 }

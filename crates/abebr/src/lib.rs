@@ -1,4 +1,5 @@
-//! DEBRA-style epoch-based memory reclamation.
+//! Safe memory reclamation with pluggable backends: DEBRA-style epochs
+//! (the default) or hazard pointers.
 //!
 //! The paper's evaluation (§6, "Memory reclamation") runs every data
 //! structure with DEBRA, an epoch-based reclamation (EBR) scheme: a node that
@@ -9,8 +10,8 @@
 //! Theorem 3.5).  Instead the unlinker *retires* the node, and the node is
 //! freed only once every thread has passed through a quiescent state.
 //!
-//! This crate implements the classic three-epoch variant used by DEBRA and
-//! crossbeam:
+//! The default backend implements the classic three-epoch variant used by
+//! DEBRA and crossbeam:
 //!
 //! * a global epoch counter,
 //! * one announcement slot per registered thread (the thread's view of the
@@ -20,6 +21,18 @@
 //! The global epoch can be advanced from `e` to `e + 1` once every pinned
 //! thread has announced `e`; garbage retired at epoch `e` is safe to free
 //! once the global epoch reaches `e + 2`.
+//!
+//! EBR's production failure mode is the **stalled reader**: one thread
+//! parked inside a pinned region freezes the epoch, and every thread's
+//! garbage accumulates behind it without bound.  The [`Smr`] trait makes
+//! the reclamation scheme pluggable, and [`Collector::new_hp`] selects a
+//! **hazard-pointer backend** ([`hp`]) whose fine-mode readers
+//! ([`LocalHandle::pin_fine`] + [`Guard::protect`]) name the O(1) nodes
+//! they actually hold — a stalled reader then blocks at most
+//! [`HAZARD_SLOTS`] objects plus what was retired after it pinned, and
+//! everything else keeps reclaiming.  [`SmrPolicy`] selects a backend by
+//! name (`"ebr"`/`"hp"`); guards and handles are backend-agnostic, so
+//! structure code runs under either.
 //!
 //! # Usage
 //!
@@ -64,22 +77,38 @@
 
 mod collector;
 mod guard;
+pub mod hp;
 mod local;
+mod smr;
 
-pub use collector::{Collector, CollectorStats};
+pub use collector::CollectorStats;
 pub use guard::Guard;
 pub use local::LocalHandle;
+pub use smr::{Collector, RegisterError, Smr, SmrPolicy};
 
 /// Maximum number of threads that can be registered with one [`Collector`]
 /// at the same time.  The paper's largest machine exposes 144 hardware
 /// threads; 512 leaves generous headroom for oversubscription in tests.
 pub const MAX_THREADS: usize = 512;
 
+/// Number of per-pointer hazard slots each thread owns under the
+/// hazard-pointer backend (the bound on how much a stalled fine-mode
+/// reader can block).  Tree descents use 3 (grandparent/parent/child);
+/// the rest are headroom for richer traversals.
+pub const HAZARD_SLOTS: usize = 8;
+
 /// Number of retirements after which a thread attempts to advance the global
-/// epoch and reclaim its bags.
+/// epoch (or scan hazards) and reclaim its garbage.
 pub(crate) const COLLECT_THRESHOLD: usize = 64;
 
-/// Announcement value meaning "this thread is not pinned".
+/// Every this-many outermost unpins, a thread checks the shared stash of
+/// garbage inherited from exited threads and drains what has become safe —
+/// the guarantee that a long-lived server whose surviving threads are
+/// read-only still reclaims after workers exit.
+pub(crate) const STASH_DRAIN_INTERVAL: usize = 64;
+
+/// Announcement value meaning "this thread is not pinned" (an epoch
+/// announcement under EBR, a retire-sequence watermark under HP).
 pub(crate) const QUIESCENT: u64 = u64::MAX;
 
 #[cfg(test)]

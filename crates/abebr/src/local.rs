@@ -9,7 +9,9 @@ use std::sync::Arc;
 
 use crate::collector::Inner;
 use crate::guard::Guard;
-use crate::{COLLECT_THRESHOLD, QUIESCENT};
+use crate::hp::HpLocal;
+use crate::smr::RegisterError;
+use crate::{COLLECT_THRESHOLD, QUIESCENT, STASH_DRAIN_INTERVAL};
 
 /// A single piece of retired garbage: either a heap object to drop or an
 /// arbitrary deferred closure.
@@ -31,7 +33,7 @@ pub(crate) enum Garbage {
 unsafe impl Send for Garbage {}
 
 impl Garbage {
-    fn run(self) {
+    pub(crate) fn run(self) {
         match self {
             Garbage::Object { ptr, destroy } => {
                 // SAFETY: by construction `destroy` matches the allocation
@@ -93,6 +95,10 @@ pub(crate) struct Local {
     /// Bags of retired garbage ordered by retirement epoch (front = oldest).
     bags: RefCell<VecDeque<Bag>>,
     retired_since_collect: Cell<usize>,
+    /// Unpins observed while the shared stash was non-empty; every
+    /// [`STASH_DRAIN_INTERVAL`]th one runs a collection cycle so stashed
+    /// garbage drains even when the surviving threads never retire.
+    unpins_since_stash_check: Cell<usize>,
     /// Pins served through this registration without touching the thread
     /// registry (cheap local re-pins).  Flushed into the collector's shared
     /// counter when the registration drops, so per-op pins never write a
@@ -106,18 +112,20 @@ pub(crate) struct Local {
 }
 
 impl Local {
-    /// Registers the calling thread with `inner` and returns its state.
-    pub(crate) fn register(inner: Arc<Inner>) -> Self {
-        let slot = inner.register();
-        Self {
+    /// Registers the calling thread with `inner` and returns its state,
+    /// or [`RegisterError`] when every slot is taken.
+    pub(crate) fn register(inner: Arc<Inner>) -> Result<Self, RegisterError> {
+        let slot = inner.register()?;
+        Ok(Self {
             inner,
             slot,
             pin_depth: Cell::new(0),
             bags: RefCell::new(VecDeque::new()),
             retired_since_collect: Cell::new(0),
+            unpins_since_stash_check: Cell::new(0),
             local_pins: Cell::new(0),
             registry_pins: Cell::new(0),
-        }
+        })
     }
 
     /// Counts one cheap re-pin through an already-held registration.
@@ -153,8 +161,30 @@ impl Local {
             self.inner.slots[self.slot]
                 .announce
                 .store(QUIESCENT, Ordering::Release);
+            self.maybe_drain_stash();
         }
         self.pin_depth.set(depth - 1);
+    }
+
+    /// Periodic stash-drain duty, run on every outermost unpin: when
+    /// threads exited with unreclaimable garbage, a *read-only* survivor
+    /// never calls [`Local::try_collect`] (no retires, so no threshold),
+    /// which used to freeze both the epoch and the stash forever.  Every
+    /// [`STASH_DRAIN_INTERVAL`]th unpin while the stash is non-empty now
+    /// attempts an epoch advance and drains the eligible stash bags.
+    fn maybe_drain_stash(&self) {
+        if self.inner.stash_len.load(Ordering::Relaxed) == 0 {
+            self.unpins_since_stash_check.set(0);
+            return;
+        }
+        let n = self.unpins_since_stash_check.get() + 1;
+        if n >= STASH_DRAIN_INTERVAL {
+            self.unpins_since_stash_check.set(0);
+            let global = self.inner.try_advance();
+            self.inner.collect_stash(global);
+        } else {
+            self.unpins_since_stash_check.set(n);
+        }
     }
 
     /// Is the owning thread currently pinned through this registration?
@@ -210,12 +240,14 @@ impl Local {
                     break;
                 }
             }
-            if freed > 0 {
-                self.inner.slots[self.slot].oldest_bag.store(
-                    bags.front().map_or(crate::collector::NO_BAGS, |b| b.epoch),
-                    Ordering::Release,
-                );
-            }
+            // Republished unconditionally (not only when something was
+            // freed): a conditional store can leave the slot's gauge
+            // pinned at a stale epoch after bags drain elsewhere, and the
+            // scrape-time reader (`Collector::stats`) trusts this value.
+            self.inner.slots[self.slot].oldest_bag.store(
+                bags.front().map_or(crate::collector::NO_BAGS, |b| b.epoch),
+                Ordering::Release,
+            );
         }
         if freed > 0 {
             self.inner.freed.fetch_add(freed, Ordering::Relaxed);
@@ -274,40 +306,94 @@ impl Drop for Local {
 /// leftover garbage is stashed with the collector.
 #[derive(Debug)]
 pub struct LocalHandle {
-    local: Rc<Local>,
+    backend: HandleBackend,
+}
+
+/// The per-backend registration a [`LocalHandle`] owns.
+#[derive(Debug)]
+enum HandleBackend {
+    Ebr(Rc<Local>),
+    Hp(Rc<HpLocal>),
 }
 
 impl LocalHandle {
-    /// Registers a fresh slot with `inner`.
-    pub(crate) fn new(inner: Arc<Inner>) -> Self {
+    /// Registers a fresh EBR slot with `inner`.
+    pub(crate) fn new(inner: Arc<Inner>) -> Result<Self, RegisterError> {
+        Ok(Self {
+            backend: HandleBackend::Ebr(Rc::new(Local::register(inner)?)),
+        })
+    }
+
+    /// Wraps an already-registered hazard-pointer local.
+    pub(crate) fn new_hp(local: Rc<HpLocal>) -> Self {
         Self {
-            local: Rc::new(Local::register(inner)),
+            backend: HandleBackend::Hp(local),
         }
     }
 
-    /// Pins the owning thread without consulting the thread registry: a
-    /// cheap local epoch announcement.  Reentrant; see [`Guard`] for the
-    /// guarantees the pin provides.
+    /// Pins the owning thread without consulting the thread registry.
+    /// Reentrant; see [`Guard`] for the guarantees the pin provides.
+    /// Under the hazard-pointer backend this is a *coarse* pin: like EBR
+    /// it protects everything retired after it (and therefore stalls
+    /// reclamation while held) — use it for traversals with unbounded
+    /// footprints, e.g. range scans.
     pub fn pin(&self) -> Guard {
-        self.local.count_local_pin();
-        Local::pin(&self.local);
-        Guard::new(Rc::clone(&self.local))
+        match &self.backend {
+            HandleBackend::Ebr(local) => {
+                local.count_local_pin();
+                Local::pin(local);
+                Guard::new(Rc::clone(local))
+            }
+            HandleBackend::Hp(local) => {
+                local.count_local_pin();
+                HpLocal::pin(local);
+                Guard::new_hp(Rc::clone(local))
+            }
+        }
+    }
+
+    /// Pins in *fine* mode: under the hazard-pointer backend the returned
+    /// guard protects only the pointers published through
+    /// [`Guard::protect`] (validated by the caller), so a reader stalled
+    /// inside the region blocks O([`crate::HAZARD_SLOTS`]) objects instead
+    /// of all reclamation.  Under EBR this is identical to
+    /// [`pin`](LocalHandle::pin).  Callers must check
+    /// [`Guard::needs_protect`] and run the protect/validate protocol when
+    /// it returns `true`.
+    pub fn pin_fine(&self) -> Guard {
+        match &self.backend {
+            HandleBackend::Ebr(_) => self.pin(),
+            HandleBackend::Hp(local) => {
+                local.count_local_pin();
+                HpLocal::pin_fine(local);
+                Guard::new_hp(Rc::clone(local))
+            }
+        }
     }
 
     /// Is this thread currently pinned through this registration?
     pub fn is_pinned(&self) -> bool {
-        self.local.is_pinned()
+        match &self.backend {
+            HandleBackend::Ebr(local) => local.is_pinned(),
+            HandleBackend::Hp(local) => local.is_pinned(),
+        }
     }
 
     /// Number of garbage objects buffered by this registration (testing).
     pub fn pending(&self) -> usize {
-        self.local.pending()
+        match &self.backend {
+            HandleBackend::Ebr(local) => local.pending(),
+            HandleBackend::Hp(local) => local.pending(),
+        }
     }
 
-    /// Attempts to advance the epoch and reclaim garbage that has become
-    /// safe (this registration's bags plus the shared stash).
+    /// Attempts to reclaim garbage that has become safe (this
+    /// registration's retirements plus the shared stash).
     pub fn flush(&self) {
-        self.local.flush();
+        match &self.backend {
+            HandleBackend::Ebr(local) => local.flush(),
+            HandleBackend::Hp(local) => local.flush(),
+        }
     }
 }
 
@@ -389,6 +475,47 @@ mod tests {
             collector.flush();
         }
         assert_eq!(collector.stats().freed, 1);
+    }
+
+    #[test]
+    fn stash_drains_on_unpins_alone_after_a_thread_exits_dirty() {
+        // Regression test for the stash-drain bug: a thread exits holding
+        // unreclaimable garbage (its bags go to the stash), and the only
+        // surviving activity is *read-only* pin/unpin traffic — no retires,
+        // so the collection threshold never fires.  The periodic unpin
+        // check must still advance the epoch and drain the stash; before
+        // the fix, `stats().freed` stayed at 0 until the collector itself
+        // was dropped.
+        let collector = Collector::new();
+        let reader = collector.register();
+
+        // A pinned reader spans the dirty thread's exit so the stashed
+        // bags are not freeable at unregister time.
+        let span = reader.pin();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let h = collector.register();
+                let g = h.pin();
+                for _ in 0..5 {
+                    let p = Box::into_raw(Box::new(9u8));
+                    unsafe { g.defer_drop(p) };
+                }
+            })
+            .join()
+            .unwrap();
+        });
+        drop(span);
+        assert_eq!(collector.stats().freed, 0, "stash not yet reclaimable");
+
+        // Read-only traffic only: enough unpins for several drain
+        // intervals (the epoch needs two advances before the bags age out).
+        for _ in 0..(crate::STASH_DRAIN_INTERVAL * 4) {
+            drop(reader.pin());
+        }
+        let s = collector.stats();
+        assert_eq!(s.freed, 5, "stash drained without dropping the collector");
+        assert_eq!(s.unreclaimed, 0);
+        assert_eq!(s.oldest_epoch_age, 0);
     }
 
     #[test]

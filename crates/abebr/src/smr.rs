@@ -1,0 +1,284 @@
+//! The pluggable safe-memory-reclamation (SMR) interface: the [`Smr`]
+//! backend trait, the [`SmrPolicy`] selector, and the [`Collector`] front
+//! door shared by every backend.
+//!
+//! The crate started as a single epoch-based collector; the types
+//! `Collector` / [`LocalHandle`] / [`Guard`] already *implied* a reclamation
+//! interface (register a thread, pin to a guard, retire through the guard,
+//! flush, observe stats).  This module names that interface so the same
+//! structures can run under different reclamation schemes:
+//!
+//! * **EBR** ([`SmrPolicy::Ebr`], the default) — epoch-based reclamation.
+//!   Pins are a single epoch announcement, retirement is amortized and
+//!   batched, and readers never touch per-object state.  The failure mode:
+//!   one stalled reader freezes the epoch and *all* garbage accumulates
+//!   behind it, unboundedly.
+//! * **HP** ([`SmrPolicy::Hp`]) — a hazard-pointer backend (see
+//!   [`crate::hp`]).  Point-operation readers protect the O(1) nodes they
+//!   actually hold, so a stalled reader blocks at most
+//!   [`crate::HAZARD_SLOTS`] objects plus whatever was retired after it
+//!   pinned; everything else keeps reclaiming.
+//!
+//! Backends share the guard/handle front end: [`Guard`] and [`LocalHandle`]
+//! are small enums over the per-backend thread state, so structure code is
+//! written once against them and runs under either scheme.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::collector::{CollectorStats, Inner};
+use crate::guard::Guard;
+use crate::hp::HpInner;
+use crate::local::LocalHandle;
+
+/// Which reclamation backend a [`Collector`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SmrPolicy {
+    /// Epoch-based reclamation (the crate's original scheme): cheapest
+    /// pins, batched reclamation, but a stalled reader blocks *all*
+    /// reclamation.
+    #[default]
+    Ebr,
+    /// Hazard pointers: point-operation readers announce the specific
+    /// nodes they hold, so garbage stays bounded under a stalled reader at
+    /// the cost of a store + fence per descent step.
+    Hp,
+}
+
+impl SmrPolicy {
+    /// Every selectable policy, in registry order.
+    pub const ALL: [SmrPolicy; 2] = [SmrPolicy::Ebr, SmrPolicy::Hp];
+
+    /// The short name used on flags and in benchmark rows (`"ebr"`/`"hp"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SmrPolicy::Ebr => "ebr",
+            SmrPolicy::Hp => "hp",
+        }
+    }
+}
+
+impl fmt::Display for SmrPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SmrPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ebr" => Ok(SmrPolicy::Ebr),
+            "hp" => Ok(SmrPolicy::Hp),
+            other => Err(format!("unknown SMR policy {other:?} (expected ebr|hp)")),
+        }
+    }
+}
+
+/// The thread-registration table of a backend is full.
+///
+/// Returned by [`Collector::try_register`] when all [`crate::MAX_THREADS`]
+/// slots are claimed.  Long-lived servers that spawn workers on demand
+/// should treat this as a service error (refuse the new worker), not a
+/// crash; the infallible [`Collector::register`] panics instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterError {
+    /// The slot capacity that was exhausted ([`crate::MAX_THREADS`]).
+    pub capacity: usize,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "abebr: more than {} threads registered with one collector",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// A safe-memory-reclamation backend: the interface every scheme provides
+/// behind a [`Collector`].
+///
+/// Object-safe by design — a `Collector` holds an `Arc<dyn Smr>` — and
+/// implemented by the EBR collector core and the hazard-pointer core.  The
+/// `Arc<Self>` receivers let a backend park per-thread state keyed by its
+/// own identity (thread-local registration caches).
+pub trait Smr: fmt::Debug + Send + Sync {
+    /// Which policy this backend implements.
+    fn policy(&self) -> SmrPolicy;
+
+    /// Pins the calling thread through the backend's thread-local
+    /// registration cache (registering it on first use) and returns a
+    /// guard.  Panics if the registration table is full; see
+    /// [`Smr::try_register`] for the fallible path.
+    fn pin(self: Arc<Self>) -> Guard;
+
+    /// Claims a fresh registration slot for the calling thread, returning
+    /// an owned handle whose `pin` skips the thread-registry lookup, or
+    /// [`RegisterError`] if all slots are taken.
+    fn try_register(self: Arc<Self>) -> Result<LocalHandle, RegisterError>;
+
+    /// Eagerly attempts a reclamation cycle on behalf of the calling
+    /// thread (registering it on first use, like [`Smr::pin`]).
+    fn flush(self: Arc<Self>);
+
+    /// Point-in-time statistics in the shared [`CollectorStats`] shape
+    /// (each backend documents how its fields map).
+    fn stats(&self) -> CollectorStats;
+
+    /// Debug/testing helper: does any registered thread currently hold an
+    /// observable pin (an epoch announcement, a retire-watermark, or a
+    /// non-null hazard slot)?
+    fn any_thread_pinned(&self) -> bool;
+}
+
+/// A garbage collector shared by all threads operating on one (or several)
+/// concurrent data structures, backed by a pluggable [`Smr`] scheme
+/// (epoch-based reclamation by default, hazard pointers via
+/// [`Collector::new_hp`] / [`Collector::with_policy`]).
+///
+/// `Collector` is cheaply cloneable (it is a reference-counted handle);
+/// every clone refers to the same backend state.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    backend: Arc<dyn Smr>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// Creates a new epoch-based collector with no registered threads.
+    pub fn new() -> Self {
+        Self {
+            backend: Arc::new(Inner::new()),
+        }
+    }
+
+    /// Creates a new hazard-pointer collector with no registered threads.
+    pub fn new_hp() -> Self {
+        Self {
+            backend: Arc::new(HpInner::new()),
+        }
+    }
+
+    /// Creates a collector running the given reclamation policy.
+    pub fn with_policy(policy: SmrPolicy) -> Self {
+        match policy {
+            SmrPolicy::Ebr => Self::new(),
+            SmrPolicy::Hp => Self::new_hp(),
+        }
+    }
+
+    /// The reclamation policy this collector runs.
+    pub fn policy(&self) -> SmrPolicy {
+        self.backend.policy()
+    }
+
+    /// Pins the current thread, returning a guard.  While at least one
+    /// guard exists on this thread, memory retired by other threads after
+    /// the pin will not be freed, so pointers read from the shared
+    /// structure remain valid for the guard's lifetime.  (Under the
+    /// hazard-pointer backend this is a *coarse* pin — it protects, like
+    /// EBR, everything retired after it; see [`LocalHandle::pin_fine`] for
+    /// the bounded-garbage fine mode.)
+    ///
+    /// Every call looks the thread up in a thread-local registry.  Callers
+    /// that pin per operation should instead hold a [`LocalHandle`] from
+    /// [`Collector::register`], whose `pin` skips the lookup.
+    pub fn pin(&self) -> Guard {
+        Arc::clone(&self.backend).pin()
+    }
+
+    /// Registers the calling thread once and returns an **owned**
+    /// [`LocalHandle`] whose [`pin`](LocalHandle::pin) is cheap (no
+    /// registry lookup).  This is the intended fast path for session-style
+    /// callers (one handle per worker thread); each call claims a fresh
+    /// slot, so a thread may hold several independent handles.
+    ///
+    /// Panics when all [`crate::MAX_THREADS`] slots are taken; services
+    /// that spawn workers on demand should call
+    /// [`try_register`](Collector::try_register) and surface the error.
+    pub fn register(&self) -> LocalHandle {
+        self.try_register()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible sibling of [`register`](Collector::register): returns
+    /// [`RegisterError`] instead of panicking when the slot table is full.
+    pub fn try_register(&self) -> Result<LocalHandle, RegisterError> {
+        Arc::clone(&self.backend).try_register()
+    }
+
+    /// Attempts to reclaim any garbage that has become safe (the calling
+    /// thread's own retirements plus the shared stash of garbage inherited
+    /// from exited threads).
+    pub fn flush(&self) {
+        Arc::clone(&self.backend).flush();
+    }
+
+    /// Returns current statistics (see [`CollectorStats`] for the field
+    /// meanings and the per-backend mapping).
+    pub fn stats(&self) -> CollectorStats {
+        self.backend.stats()
+    }
+
+    /// Debug/testing helper: is any registered thread currently pinned?
+    pub fn debug_any_thread_pinned(&self) -> bool {
+        self.backend.any_thread_pinned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_display_round_trip() {
+        for p in SmrPolicy::ALL {
+            assert_eq!(p.name().parse::<SmrPolicy>().unwrap(), p);
+            assert_eq!(format!("{p}").parse::<SmrPolicy>().unwrap(), p);
+        }
+        assert!("circ".parse::<SmrPolicy>().is_err());
+        assert_eq!(SmrPolicy::default(), SmrPolicy::Ebr);
+    }
+
+    #[test]
+    fn with_policy_selects_the_backend() {
+        assert_eq!(Collector::new().policy(), SmrPolicy::Ebr);
+        assert_eq!(Collector::new_hp().policy(), SmrPolicy::Hp);
+        for p in SmrPolicy::ALL {
+            let c = Collector::with_policy(p);
+            assert_eq!(c.policy(), p);
+            assert_eq!(c.clone().policy(), p, "clones share the backend");
+        }
+    }
+
+    #[test]
+    fn both_backends_run_the_basic_lifecycle() {
+        for p in SmrPolicy::ALL {
+            let c = Collector::with_policy(p);
+            let handle = c.register();
+            {
+                let guard = handle.pin();
+                let ptr = Box::into_raw(Box::new(7u64));
+                unsafe { guard.defer_drop(ptr) };
+            }
+            for _ in 0..8 {
+                handle.flush(); // garbage sits in the handle's own bags
+            }
+            let s = c.stats();
+            assert_eq!(s.retired, 1, "{p}");
+            assert_eq!(s.freed, 1, "{p}");
+            assert_eq!(s.unreclaimed, 0, "{p}");
+        }
+    }
+}

@@ -112,12 +112,21 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// reuse the handle for the whole run; the handle must stay on the
     /// thread that opened it.
     pub fn handle(&self) -> TreeHandle<'_, ELIM, L, P> {
-        TreeHandle {
+        self.try_handle()
+            .unwrap_or_else(|e| panic!("abtree: {e}"))
+    }
+
+    /// Fallible variant of [`AbTree::handle`]: returns an error instead of
+    /// panicking when the reclamation collector's thread-slot table is full
+    /// ([`abebr::MAX_THREADS`] concurrent registrations), so services can
+    /// degrade gracefully instead of crashing a worker.
+    pub fn try_handle(&self) -> Result<TreeHandle<'_, ELIM, L, P>, abebr::RegisterError> {
+        Ok(TreeHandle {
             tree: self,
-            ebr: self.collector().register(),
+            ebr: self.collector().try_register()?,
             scan_buf: Vec::new(),
             scratch: OpScratch::default(),
-        }
+        })
     }
 }
 
@@ -126,20 +135,24 @@ impl<'m, const ELIM: bool, L: RawNodeLock, P: Persist> TreeHandle<'m, ELIM, L, P
     /// value (leaving the tree unchanged) if `key` was present, `None` if
     /// the pair was inserted (paper Fig. 4).
     pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
-        let guard = self.ebr.pin();
+        // Point operations pin in fine mode: under the hazard-pointer
+        // backend the descent names its O(1) foothold (see `tree::search`)
+        // instead of taking a blanket pin, so a stalled operation cannot
+        // block reclamation tree-wide.  Under EBR this is a plain pin.
+        let guard = self.ebr.pin_fine();
         self.tree.insert_in(key, value, &guard, &mut self.scratch)
     }
 
     /// Removes `key`, returning its value if it was present (paper Fig. 5).
     pub fn delete(&mut self, key: u64) -> Option<u64> {
-        let guard = self.ebr.pin();
+        let guard = self.ebr.pin_fine();
         self.tree.delete_in(key, &guard, &mut self.scratch)
     }
 
     /// The paper's `find(key)`: returns the associated value, or `None`.
     /// Never restarts and never acquires locks.
     pub fn get(&mut self, key: u64) -> Option<u64> {
-        let guard = self.ebr.pin();
+        let guard = self.ebr.pin_fine();
         self.tree.get_in(key, &guard)
     }
 
@@ -234,6 +247,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> SessionMap for AbTree<ELIM, L
 impl<const ELIM: bool, L: RawNodeLock, P: Persist> ConcurrentMap for AbTree<ELIM, L, P> {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         Box::new(AbTree::handle(self))
+    }
+
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(Box::new(AbTree::try_handle(self)?))
     }
 
     fn name(&self) -> &'static str {

@@ -283,6 +283,16 @@ pub trait ConcurrentMap: Send + Sync {
     /// scratch buffers): call it once per thread, not once per operation.
     fn handle(&self) -> Box<dyn MapHandle + '_>;
 
+    /// Fallible variant of [`handle`](ConcurrentMap::handle): returns an
+    /// error instead of panicking when the structure's reclamation
+    /// collector has no free thread slot ([`abebr::MAX_THREADS`] concurrent
+    /// registrations), so a service can reject a session instead of
+    /// crashing its worker.  Structures whose sessions never register
+    /// (or that don't reclaim) keep the infallible default.
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(self.handle())
+    }
+
     /// Short name used in benchmark output (e.g. `"elim-abtree"`).
     fn name(&self) -> &'static str;
 
@@ -305,6 +315,9 @@ pub trait ConcurrentMap: Send + Sync {
 impl<M: ConcurrentMap + ?Sized> ConcurrentMap for Box<M> {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         (**self).handle()
+    }
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        (**self).try_handle()
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -333,6 +346,9 @@ pub struct SharedMap<M: ?Sized>(pub std::sync::Arc<M>);
 impl<M: ConcurrentMap + ?Sized> ConcurrentMap for SharedMap<M> {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         self.0.handle()
+    }
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        self.0.try_handle()
     }
     fn name(&self) -> &'static str {
         self.0.name()

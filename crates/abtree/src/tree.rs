@@ -138,34 +138,59 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
     /// entry node following routing keys until it reaches a leaf or the
     /// target node, never acquiring locks.
     pub(crate) fn search(&self, key: u64, target: *mut Node<L>, guard: &Guard) -> PathInfo<L> {
-        let mut gp: *mut Node<L> = ptr::null_mut();
-        let mut p: *mut Node<L> = ptr::null_mut();
-        let mut p_idx = 0usize;
-        let mut n: *mut Node<L> = self.entry_ptr();
-        let mut n_idx = 0usize;
+        // Fine-mode hazard-pointer guards only keep a pointer alive once it
+        // has been published in a hazard slot *and* re-validated as still
+        // reachable.  The descent keeps the last three nodes (gp, p, n) in a
+        // rotating window of three slots, so the returned `PathInfo` stays
+        // dereferenceable for the caller.  Coarse guards (and EBR) protect
+        // everything read while pinned, so the protocol is skipped.
+        let fine = guard.needs_protect();
+        'restart: loop {
+            let mut gp: *mut Node<L> = ptr::null_mut();
+            let mut p: *mut Node<L> = ptr::null_mut();
+            let mut p_idx = 0usize;
+            let mut n: *mut Node<L> = self.entry_ptr();
+            let mut n_idx = 0usize;
+            let mut rot = 0usize;
 
-        loop {
-            // SAFETY: `n` is the entry or was read from a reachable node
-            // while pinned.
-            let node = unsafe { self.deref(n, guard) };
-            if node.is_leaf() {
-                break;
+            loop {
+                // SAFETY: `n` is the entry sentinel (never retired), was
+                // validated below after being published in a hazard slot
+                // (fine mode), or was read from a reachable node while the
+                // blanket pin was in effect (coarse / EBR).
+                let node = unsafe { self.deref(n, guard) };
+                if node.is_leaf() {
+                    break;
+                }
+                if !target.is_null() && n == target {
+                    break;
+                }
+                gp = p;
+                p = n;
+                p_idx = n_idx;
+                n_idx = node.child_index(key);
+                n = self.read_child(node, n_idx);
+                if fine {
+                    // Publish, then re-validate reachability: if the parent
+                    // has been marked for unlinking or its child slot no
+                    // longer points at `n`, `n` may already have been
+                    // retired before the hazard became visible — restart
+                    // from the entry (mark-before-unlink makes a validated
+                    // hazard sound; see `abebr::hp` module docs).
+                    guard.protect(rot, n);
+                    rot = (rot + 1) % 3;
+                    if node.is_marked() || untag(node.child_raw(n_idx)) != n {
+                        continue 'restart;
+                    }
+                }
             }
-            if !target.is_null() && n == target {
-                break;
-            }
-            gp = p;
-            p = n;
-            p_idx = n_idx;
-            n_idx = node.child_index(key);
-            n = self.read_child(node, n_idx);
-        }
-        PathInfo {
-            gp,
-            p,
-            p_idx,
-            n,
-            n_idx,
+            return PathInfo {
+                gp,
+                p,
+                p_idx,
+                n,
+                n_idx,
+            };
         }
     }
 

@@ -247,6 +247,10 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
         // write makes the new subtree (and hence the new key) reachable
         // (for durable trees, the flush of that pointer).
         self.link_child(parent, path.n_idx, tagged);
+        // The upcoming `fix_tagged` traverses the tree without the fine-mode
+        // hazard protocol, so a fine guard must upgrade to coarse protection
+        // while the locks still pin this foothold (no-op under EBR/coarse).
+        guard.escalate();
         // SAFETY: both locked above with their tokens.
         unsafe {
             parent.lock.unlock(&mut parent_token);
@@ -330,6 +334,13 @@ impl<const ELIM: bool, L: RawNodeLock, P: Persist> AbTree<ELIM, L, P> {
         };
 
         let underfull = leaf.len() < MIN_KEYS;
+        if underfull {
+            // `fix_underfull` traverses (and locks) ancestors and siblings
+            // without the fine-mode hazard protocol; upgrade to coarse
+            // protection before releasing the lock that pins this foothold
+            // (no-op under EBR/coarse).
+            guard.escalate();
+        }
         // SAFETY: locked above with this token.
         unsafe { leaf.lock.unlock(&mut leaf_token) };
         if underfull {

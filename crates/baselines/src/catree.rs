@@ -88,9 +88,15 @@ fn new_base(tree: Avl, stat: i32) -> *mut CaNode {
 impl CaTree {
     /// Creates an empty tree consisting of a single empty base node.
     pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty tree reclaiming through an existing [`Collector`]
+    /// (which selects the SMR backend — epochs or hazard pointers).
+    pub fn with_collector(collector: Collector) -> Self {
         Self {
             root: AtomicPtr::new(new_base(Avl::new(), 0)),
-            collector: Collector::new(),
+            collector,
         }
     }
 
@@ -257,6 +263,10 @@ impl SessionOps for CaTree {
 impl ConcurrentMap for CaTree {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         Box::new(SessionHandle::new(self))
+    }
+
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(Box::new(SessionHandle::try_new(self)?))
     }
 
     fn name(&self) -> &'static str {

@@ -73,6 +73,12 @@ enum UpdateOutcome {
 impl CowABTree {
     /// Creates an empty tree with one empty leaf covering the key space.
     pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty tree reclaiming through an existing [`Collector`]
+    /// (which selects the SMR backend — epochs or hazard pointers).
+    pub fn with_collector(collector: Collector) -> Self {
         let mut map = BTreeMap::new();
         let leaf = Box::into_raw(Box::new(CowLeaf {
             entries: Vec::new(),
@@ -80,7 +86,7 @@ impl CowABTree {
         map.insert(0u64, Box::new(AtomicPtr::new(leaf)));
         Self {
             inner: RwLock::new(map),
-            collector: Collector::new(),
+            collector,
         }
     }
 
@@ -268,6 +274,10 @@ impl SessionOps for CowABTree {
 impl ConcurrentMap for CowABTree {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         Box::new(SessionHandle::new(self))
+    }
+
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(Box::new(SessionHandle::try_new(self)?))
     }
 
     fn name(&self) -> &'static str {

@@ -101,13 +101,16 @@ struct SearchResult {
 impl LockExtBst {
     /// Creates an empty tree (two sentinel leaves under a sentinel root).
     pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty tree reclaiming through an existing [`Collector`]
+    /// (which selects the SMR backend — epochs or hazard pointers).
+    pub fn with_collector(collector: Collector) -> Self {
         let left_sentinel = BstNode::leaf(INF, 0);
         let right_sentinel = BstNode::leaf(INF, 0);
         let root = BstNode::internal(INF, left_sentinel, right_sentinel);
-        Self {
-            root,
-            collector: Collector::new(),
-        }
+        Self { root, collector }
     }
 
     /// Routing: go left iff `key < node.key`.
@@ -269,6 +272,10 @@ impl SessionOps for LockExtBst {
 impl ConcurrentMap for LockExtBst {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         Box::new(SessionHandle::new(self))
+    }
+
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(Box::new(SessionHandle::try_new(self)?))
     }
 
     fn name(&self) -> &'static str {

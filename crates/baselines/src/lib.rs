@@ -128,6 +128,20 @@ impl<'m, M: SessionOps + ?Sized> SessionHandle<'m, M> {
         }
     }
 
+    /// Fallible construction: surfaces collector thread-slot exhaustion as
+    /// an error instead of panicking (backs `ConcurrentMap::try_handle`).
+    pub(crate) fn try_new(map: &'m M) -> Result<Self, abebr::RegisterError> {
+        Ok(Self {
+            map,
+            ebr: map
+                .collector()
+                .map(Collector::try_register)
+                .transpose()?,
+            rng: HandleRng::new(),
+            scan_buf: Vec::new(),
+        })
+    }
+
     /// Pins (when the structure uses EBR), builds the per-op context, and
     /// runs `f` under it — the one place the pin-before-op discipline lives.
     fn with_cx<R>(&mut self, f: impl FnOnce(&M, &mut OpCx<'_>) -> R) -> R {

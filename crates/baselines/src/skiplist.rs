@@ -67,6 +67,13 @@ impl Default for LazySkipList {
 impl LazySkipList {
     /// Creates an empty skiplist.
     pub fn new() -> Self {
+        Self::with_collector(Collector::new())
+    }
+
+    /// Creates an empty skiplist reclaiming through an existing
+    /// [`Collector`] (which selects the SMR backend — epochs or hazard
+    /// pointers).
+    pub fn with_collector(collector: Collector) -> Self {
         let tail = SkipNode::new(u64::MAX, 0, MAX_LEVEL);
         let head = SkipNode::new(0, 0, MAX_LEVEL);
         // SAFETY: freshly allocated, exclusively owned here.
@@ -80,7 +87,7 @@ impl LazySkipList {
         Self {
             head,
             tail,
-            collector: Collector::new(),
+            collector,
         }
     }
 
@@ -356,6 +363,10 @@ impl SessionOps for LazySkipList {
 impl ConcurrentMap for LazySkipList {
     fn handle(&self) -> Box<dyn MapHandle + '_> {
         Box::new(SessionHandle::new(self))
+    }
+
+    fn try_handle(&self) -> Result<Box<dyn MapHandle + '_>, abebr::RegisterError> {
+        Ok(Box::new(SessionHandle::try_new(self)?))
     }
 
     fn name(&self) -> &'static str {

@@ -30,6 +30,7 @@ fn bench(c: &mut Criterion) {
                 threads,
                 duration: Duration::from_millis(0),
                 seed: 77,
+                ..Default::default()
             });
             group.bench_function(BenchmarkId::new(structure, threads), |b| {
                 b.iter_custom(|iters| {

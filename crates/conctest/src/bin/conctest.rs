@@ -4,8 +4,12 @@
 //!
 //! ```text
 //! conctest [--smoke] [--seed N] [--structure NAME] [--threads N]
-//!          [--ops N] [--rounds N]
+//!          [--ops N] [--rounds N] [--smr ebr|hp]
 //! ```
+//!
+//! `--smr` selects the reclamation backend the registry mounts each
+//! structure on (default `ebr`), so CI can sweep the same schedules over
+//! the hazard-pointer backend.
 //!
 //! Per structure, two passes run:
 //!
@@ -29,6 +33,7 @@ use conctest::{
     differential_fuzz, differential_kvserve, fuzz_concurrent, fuzz_kvserve_concurrent,
     write_artifact, CheckConfig, FuzzConfig,
 };
+use abebr::SmrPolicy;
 use setbench::registry::{self, ScanSupport};
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
@@ -60,6 +65,20 @@ fn main() {
         .position(|a| a == "--structure")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let smr: SmrPolicy = match args
+        .iter()
+        .position(|a| a == "--smr")
+        .and_then(|i| args.get(i + 1))
+    {
+        None => SmrPolicy::default(),
+        Some(name) => match name.parse() {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("conctest: --smr {name}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
     let threads = flag_value(&args, "--threads").unwrap_or(if smoke { 2 } else { 3 }) as u32;
     let ops = flag_value(&args, "--ops").unwrap_or(if smoke { 150 } else { 400 }) as u32;
     let rounds = flag_value(&args, "--rounds").unwrap_or(if smoke { 2 } else { 5 }) as u32;
@@ -72,7 +91,7 @@ fn main() {
     };
     println!(
         "conctest sweep: seed {seed:#x}, {threads} threads x {ops} ops, {rounds} concurrent \
-         rounds{}",
+         rounds, smr {smr}{}",
         if smoke { " (smoke)" } else { "" }
     );
     println!("{:<28} {:>5} {:>34}", "target", "mode", "result");
@@ -85,7 +104,8 @@ fn main() {
         if only.as_deref().is_some_and(|o| o != descriptor.name) {
             continue;
         }
-        let diff = match differential_fuzz(&descriptor.factory, &cfg) {
+        let build = move |policy: SmrPolicy| move || (descriptor.factory)(policy);
+        let diff = match differential_fuzz(&build(smr), &cfg) {
             Ok(total) => Cell {
                 target: descriptor.name.into(),
                 mode: "diff",
@@ -111,7 +131,7 @@ fn main() {
         } else {
             CheckConfig::default()
         };
-        let conc = match fuzz_concurrent(&descriptor.factory, &cfg, &check_cfg, rounds) {
+        let conc = match fuzz_concurrent(&build(smr), &cfg, &check_cfg, rounds) {
             Ok(report) => Cell {
                 target: descriptor.name.into(),
                 mode: "conc",

@@ -788,7 +788,8 @@ mod tests {
             ops_per_thread: 150,
             ..FuzzConfig::default()
         };
-        let ops = differential_fuzz(&descriptor.factory, &cfg).expect("elim-abtree is correct");
+        let build = || (descriptor.factory)(Default::default());
+        let ops = differential_fuzz(&build, &cfg).expect("elim-abtree is correct");
         assert_eq!(ops, 450);
     }
 
@@ -800,12 +801,8 @@ mod tests {
             ops_per_thread: 120,
             ..FuzzConfig::default()
         };
-        let report = fuzz_concurrent(
-            &descriptor.factory,
-            &cfg,
-            &CheckConfig::with_snapshot_scans(),
-            2,
-        )
+        let build = || (descriptor.factory)(Default::default());
+        let report = fuzz_concurrent(&build, &cfg, &CheckConfig::with_snapshot_scans(), 2)
         .expect("occ-abtree is linearizable");
         assert_eq!(report.rounds, 2);
         assert!(report.events > 0);

@@ -7,6 +7,7 @@ use conctest::{
     check, differential_fuzz, differential_kvserve, fuzz_concurrent, fuzz_kvserve_concurrent,
     shrink_history, CheckConfig, FuzzConfig, History, OpKind, OpRecord, OpResult, Outcome,
 };
+use abebr::SmrPolicy;
 use setbench::registry::{self, ScanSupport};
 
 fn small_cfg() -> FuzzConfig {
@@ -22,22 +23,27 @@ fn small_cfg() -> FuzzConfig {
 /// structure under a seeded mixed workload including scans — differential
 /// mode against the locked `BTreeMap` oracle, concurrent mode under the
 /// linearizability checker (snapshot-scan semantics exactly where the
-/// registry promises them).
+/// registry promises them) — under **both** reclamation backends.
 #[test]
 fn every_registry_structure_passes_both_fuzz_modes() {
     let cfg = small_cfg();
-    for descriptor in registry::STRUCTURES {
-        differential_fuzz(&descriptor.factory, &cfg)
-            .unwrap_or_else(|failure| panic!("{}: {}", descriptor.name, failure.render()));
-        let check_cfg = if descriptor.scan == ScanSupport::Snapshot {
-            CheckConfig::with_snapshot_scans()
-        } else {
-            CheckConfig::default()
-        };
-        let report = fuzz_concurrent(&descriptor.factory, &cfg, &check_cfg, 2)
-            .unwrap_or_else(|failure| panic!("{}: {}", descriptor.name, failure.render(&cfg)));
-        assert_eq!(report.rounds, 2, "{}", descriptor.name);
-        assert!(report.events >= 2 * 2 * 120, "{}", descriptor.name);
+    for policy in SmrPolicy::ALL {
+        for descriptor in registry::STRUCTURES {
+            let build = || (descriptor.factory)(policy);
+            differential_fuzz(&build, &cfg).unwrap_or_else(|failure| {
+                panic!("{}/{policy}: {}", descriptor.name, failure.render())
+            });
+            let check_cfg = if descriptor.scan == ScanSupport::Snapshot {
+                CheckConfig::with_snapshot_scans()
+            } else {
+                CheckConfig::default()
+            };
+            let report = fuzz_concurrent(&build, &cfg, &check_cfg, 2).unwrap_or_else(|failure| {
+                panic!("{}/{policy}: {}", descriptor.name, failure.render(&cfg))
+            });
+            assert_eq!(report.rounds, 2, "{}/{policy}", descriptor.name);
+            assert!(report.events >= 2 * 2 * 120, "{}/{policy}", descriptor.name);
+        }
     }
 }
 

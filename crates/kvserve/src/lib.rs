@@ -94,5 +94,5 @@ pub use codec::{
 pub use namespace::{Namespace, LOCAL_KEY_BITS, MAX_LOCAL_KEY};
 pub use queue::{Consumer, Producer, PushError};
 pub use request::{Request, Response};
-pub use service::{KvService, Overloaded, ShardRouter, ShardStore, LANE_CAPACITY};
+pub use service::{KvService, Overloaded, ShardRouter, ShardStartupError, ShardStore, LANE_CAPACITY};
 pub use stats::{Histogram, OpCounters, ServiceStats};

@@ -82,6 +82,29 @@ impl std::fmt::Display for Overloaded {
 
 impl std::error::Error for Overloaded {}
 
+/// Startup failure of [`KvService::try_new`]: a shard-owner thread could
+/// not open its store session because the store's SMR collector is out of
+/// registration slots ([`abebr::MAX_THREADS`]).  The partially started
+/// service has already been torn down when this is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStartupError {
+    /// Index of the first shard whose owner failed to register.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for ShardStartupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} owner could not register a reclamation session \
+             (collector slot capacity exhausted)",
+            self.shard
+        )
+    }
+}
+
+impl std::error::Error for ShardStartupError {}
+
 /// A sharded, batched, embedded key-value service (see the module docs).
 pub struct KvService {
     shards: Vec<Arc<ShardCell>>,
@@ -111,8 +134,21 @@ impl KvService {
     pub fn new(
         shards: usize,
         namespace_slots: usize,
-        mut factory: impl FnMut(usize) -> Box<dyn ShardStore>,
+        factory: impl FnMut(usize) -> Box<dyn ShardStore>,
     ) -> Self {
+        Self::try_new(shards, namespace_slots, factory)
+            .expect("kvserve: shard owner failed to start")
+    }
+
+    /// Like [`KvService::new`], but reports shard-owner startup failure
+    /// (a store whose SMR collector has no free registration slots) as an
+    /// error instead of panicking.  On failure the already-spawned owners
+    /// are shut down and joined before returning.
+    pub fn try_new(
+        shards: usize,
+        namespace_slots: usize,
+        mut factory: impl FnMut(usize) -> Box<dyn ShardStore>,
+    ) -> Result<Self, ShardStartupError> {
         let trace = Arc::new(StageTrace::new());
         let shards: Vec<Arc<ShardCell>> = (0..shards.max(1))
             .map(|index| {
@@ -187,14 +223,25 @@ impl KvService {
             .collect();
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let reply_spin = if cores > 1 { 128 } else { 1 };
-        Self {
+        let service = Self {
             shards,
             owners,
             stats,
             registry,
             trace,
             reply_spin,
+        };
+        // Owners publish their startup outcome right after their (bounded)
+        // session-registration attempt; wait for all of them so a capacity
+        // failure surfaces here, not as a hang on the first request.  The
+        // error path drops `service`, which shuts down and joins the
+        // owners that did come up.
+        for index in 0..service.shards.len() {
+            if !service.shards[index].state.await_ready() {
+                return Err(ShardStartupError { shard: index });
+            }
         }
+        Ok(service)
     }
 
     /// Number of shards.
@@ -1429,5 +1476,38 @@ mod tests {
         assert_eq!(service.shard_name(0), "elim-abtree");
         assert!(format!("{service:?}").contains("KvService"));
         assert!(format!("{router:?}").contains("ShardRouter"));
+    }
+
+    /// Regression for the startup path: a store whose SMR collector has no
+    /// free registration slots must surface as [`ShardStartupError`] from
+    /// `try_new` (it used to panic on the owner thread), and the service
+    /// must come up normally once slots free.
+    #[test]
+    fn collector_exhaustion_is_a_startup_error_not_a_panic() {
+        let collector = abebr::Collector::new();
+        let mut held = Vec::new();
+        while let Ok(handle) = collector.try_register() {
+            held.push(handle);
+        }
+        assert_eq!(held.len(), abebr::MAX_THREADS);
+
+        let shard_factory = |collector: abebr::Collector| {
+            move |_: usize| {
+                let tree: ElimABTree = ElimABTree::with_collector(collector.clone());
+                Box::new(tree) as Box<dyn ShardStore>
+            }
+        };
+        let err = KvService::try_new(1, 1, shard_factory(collector.clone()))
+            .expect_err("owner registration must fail with every slot held");
+        assert_eq!(err.shard, 0);
+        assert!(err.to_string().contains("slot capacity"));
+
+        // Freeing the hoarded sessions makes the same construction succeed.
+        drop(held);
+        let service = KvService::try_new(1, 1, shard_factory(collector))
+            .expect("registration succeeds once slots are free");
+        let mut router = service.router();
+        assert_eq!(router.put(9, 90), None);
+        assert_eq!(router.get(9), Some(90));
     }
 }

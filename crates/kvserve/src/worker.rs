@@ -42,7 +42,7 @@
 //! [`crate::KvService`] raises [`ShardState::shutdown`], unparks everyone
 //! and joins the owners.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::Thread;
 
@@ -94,6 +94,14 @@ pub(crate) struct Lane {
     pub(crate) replies: Producer<(Stamp, ShardReply)>,
 }
 
+/// Startup not yet decided: the owner thread has not attempted to open
+/// its store session.
+pub(crate) const READY_STARTING: u8 = 0;
+/// The owner opened its session and is serving.
+pub(crate) const READY_UP: u8 = 1;
+/// The owner could not register a session (SMR slot capacity) and exited.
+pub(crate) const READY_FAILED: u8 = 2;
+
 /// Shared coordination state of one shard, owned by its [`ShardCell`].
 pub(crate) struct ShardState {
     /// Mutation counter; see the module docs.
@@ -108,6 +116,9 @@ pub(crate) struct ShardState {
     idle: AtomicBool,
     /// Raised by [`crate::KvService`] teardown.
     shutdown: AtomicBool,
+    /// Owner startup outcome: [`READY_STARTING`] until the owner thread has
+    /// opened (or failed to open) its store session.
+    ready: AtomicU8,
     /// The owner thread, for unparking (set once at spawn).
     owner: Mutex<Option<Thread>>,
     /// Lengths of the runs the worker drains per lane visit — the
@@ -124,8 +135,27 @@ impl ShardState {
             lane_generation: AtomicU64::new(0),
             idle: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
+            ready: AtomicU8::new(READY_STARTING),
             owner: Mutex::new(None),
             run_length: Histogram::new(),
+        }
+    }
+
+    /// Publishes the owner's startup outcome (up or failed).
+    pub(crate) fn publish_ready(&self, outcome: u8) {
+        self.ready.store(outcome, Ordering::SeqCst);
+    }
+
+    /// Blocks until the owner published its startup outcome; returns `true`
+    /// iff the owner came up.  Startup is bounded (one session-registration
+    /// attempt), so a yield loop suffices.
+    pub(crate) fn await_ready(&self) -> bool {
+        loop {
+            match self.ready.load(Ordering::SeqCst) {
+                READY_STARTING => std::thread::yield_now(),
+                READY_UP => return true,
+                _ => return false,
+            }
         }
     }
 
@@ -186,8 +216,19 @@ const IDLE_SPINS: u32 = 64;
 pub(crate) fn run_shard_owner(cell: Arc<ShardCell>) {
     let state = &cell.state;
     // The single long-lived session this whole design exists to create:
-    // opened on the owner thread, kept until shutdown.
-    let mut handle = cell.store.handle();
+    // opened on the owner thread, kept until shutdown.  Registration can
+    // fail (the store's SMR collector has a fixed slot capacity); report
+    // the outcome instead of panicking so the service can refuse to start.
+    let mut handle = match cell.store.try_handle() {
+        Ok(handle) => {
+            state.publish_ready(READY_UP);
+            handle
+        }
+        Err(_) => {
+            state.publish_ready(READY_FAILED);
+            return;
+        }
+    };
     // Unsampled recorder: whether a request is traced was decided by the
     // router at submit time and rides in on the job's stamp.
     let recorder = cell.trace.recorder();

@@ -68,11 +68,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn service(shards: usize) -> Arc<KvService> {
-    Arc::new(KvService::new(shards, 4, |_| {
+fn service(shards: usize) -> Result<Arc<KvService>, kvserve::ShardStartupError> {
+    // `try_new` so a reclamation-session capacity failure is an orderly
+    // startup error on stderr, not a panic on a shard-owner thread.
+    Ok(Arc::new(KvService::try_new(shards, 4, |_| {
         let tree: abtree::ElimABTree = abtree::ElimABTree::new();
         Box::new(tree)
-    }))
+    })?))
 }
 
 fn main() -> ExitCode {
@@ -87,7 +89,13 @@ fn main() -> ExitCode {
         return selftest(args.shards, args.reactors);
     }
 
-    let svc = service(args.shards);
+    let svc = match service(args.shards) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("netserve_server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let addr = match args.addr.parse() {
         Ok(addr) => addr,
         Err(e) => {
@@ -146,7 +154,13 @@ fn selftest(shards: usize, reactors: usize) -> ExitCode {
     const CLIENTS: u64 = 8;
     const FRAMES_PER_CLIENT: u64 = 200;
 
-    let svc = service(shards);
+    let svc = match service(shards) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("selftest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = ServerConfig {
         reactors,
         idle_timeout: Duration::from_secs(10),

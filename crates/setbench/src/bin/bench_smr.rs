@@ -1,0 +1,228 @@
+//! Memory footprint and reclamation lag of the two SMR backends.
+//!
+//! The harness's throughput figures answer "how fast"; this benchmark
+//! answers the other reclamation question — "how much retired-but-unfreed
+//! garbage does each backend let accumulate, and what does that cost?"
+//! Two cells per backend (`ebr`, `hp`), both on the elimination (a,b)-tree:
+//!
+//! * `cell = "churn"` — steady-state footprint: writer threads run a 50/50
+//!   insert/delete mix while the main thread samples the collector's
+//!   `unreclaimed` gauge.  The row reports the peak and final samples plus
+//!   the end-of-run reclamation lag (epochs behind for EBR, retirements
+//!   behind for HP) and the usual validated throughput.  Healthy backends
+//!   hold a small, flat plateau here.
+//! * `cell = "stalled-reader"` — the failure mode the hazard-pointer
+//!   backend exists for: one reader parks inside a pinned region while a
+//!   writer churns round after round.  Under EBR the parked pin freezes
+//!   the epoch, so `unreclaimed` grows linearly with the churn (the
+//!   per-round trajectory is recorded in the row).  Under HP the parked
+//!   *fine-mode* reader names no nodes, so garbage stays bounded no matter
+//!   how many rounds run.  The acceptance criterion on the recorded
+//!   artifact: the final EBR sample keeps growing round over round while
+//!   the HP sample stays under a small constant.
+//!
+//! Each run emits `experiment = "smr"` JSON rows on stderr; the checked-in
+//! `BENCH_smr.json` keeps a recorded full run.
+//!
+//! Usage:
+//!   cargo run -p setbench --release --bin bench_smr -- \[--threads N\]
+//!   cargo run -p setbench --release --bin bench_smr -- --smoke
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use abebr::{Collector, SmrPolicy};
+use abtree::ElimABTree;
+use rand::prelude::*;
+
+/// Keys live in `1..KEY_RANGE` (key 0 is reserved by the tree's sentinel
+/// conventions elsewhere in the workspace; skipping it keeps sums simple).
+const KEY_RANGE: u64 = 65_536;
+/// Gauge sampling period while the churn cell runs.
+const SAMPLE_EVERY: Duration = Duration::from_millis(5);
+
+fn new_tree(policy: SmrPolicy) -> Arc<ElimABTree> {
+    Arc::new(ElimABTree::with_collector(Collector::with_policy(policy)))
+}
+
+/// Steady-state churn: `threads` writers run a 50/50 insert/delete mix for
+/// `duration` while the caller's thread samples the unreclaimed gauge.
+fn churn_cell(policy: SmrPolicy, threads: usize, duration: Duration) -> String {
+    let tree = new_tree(policy);
+
+    // Prefill to half full so deletes hit from the first operation.
+    let mut expected: i128 = 0;
+    {
+        let mut h = tree.handle();
+        let mut rng = StdRng::seed_from_u64(0x5318);
+        let mut inserted = 0u64;
+        while inserted < KEY_RANGE / 2 {
+            let k = rng.gen_range(1..KEY_RANGE);
+            if h.insert(k, k).is_none() {
+                inserted += 1;
+                expected += k as i128;
+            }
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let mut peak_unreclaimed = 0u64;
+    let mut total_ops = 0u64;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..threads as u64 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            workers.push(scope.spawn(move || {
+                let mut h = tree.handle();
+                let mut rng = StdRng::seed_from_u64(0x0DD5 + 31 * t);
+                let mut net: i128 = 0;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.gen_range(1..KEY_RANGE);
+                    if rng.gen_bool(0.5) {
+                        if h.insert(k, k).is_none() {
+                            net += k as i128;
+                        }
+                    } else if h.delete(k).is_some() {
+                        net -= k as i128;
+                    }
+                    ops += 1;
+                }
+                (net, ops)
+            }));
+        }
+        while started.elapsed() < duration {
+            std::thread::sleep(SAMPLE_EVERY);
+            peak_unreclaimed = peak_unreclaimed.max(tree.collector().stats().unreclaimed);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for worker in workers {
+            let (net, ops) = worker.join().expect("churn worker panicked");
+            expected += net;
+            total_ops += ops;
+        }
+    });
+    let secs = started.elapsed().as_secs_f64();
+
+    let stats = tree.collector().stats();
+    let validated = tree.key_sum() as i128 == expected;
+    let mops = total_ops as f64 / secs / 1e6;
+    println!(
+        "{:<16} {:>5} {:>8} {:>12.3} {:>12} {:>12} {:>10} {:>8}",
+        "churn",
+        policy.name(),
+        threads,
+        mops,
+        peak_unreclaimed,
+        stats.unreclaimed,
+        stats.oldest_epoch_age,
+        if validated { "ok" } else { "FAIL" }
+    );
+    assert!(validated, "key-sum validation failed ({policy} churn)");
+    format!(
+        "{{\"experiment\":\"smr\",\"cell\":\"churn\",\"structure\":\"elim-abtree\",\
+         \"smr\":\"{}\",\"threads\":{threads},\"key_range\":{KEY_RANGE},\"ops\":{total_ops},\
+         \"throughput_mops\":{mops},\"peak_unreclaimed\":{peak_unreclaimed},\
+         \"final_unreclaimed\":{},\"reclaim_lag\":{},\"validated\":{validated}}}",
+        policy.name(),
+        stats.unreclaimed,
+        stats.oldest_epoch_age
+    )
+}
+
+/// The stalled-reader cell: one reader parks inside a pinned region (a
+/// fine-mode pin — an ordinary epoch pin under EBR, an empty hazard set
+/// under HP) while the main thread churns `rounds` full insert/delete
+/// passes over `keys` keys, sampling the unreclaimed gauge after each.
+fn stalled_reader_cell(policy: SmrPolicy, rounds: usize, keys: u64) -> String {
+    let tree = new_tree(policy);
+    let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+    let reader = {
+        let tree = Arc::clone(&tree);
+        std::thread::spawn(move || {
+            let local = tree.collector().register();
+            let guard = local.pin_fine();
+            ready_tx.send(()).unwrap();
+            park_rx.recv().unwrap();
+            drop(guard);
+        })
+    };
+    ready_rx.recv().unwrap();
+
+    let mut trajectory = Vec::with_capacity(rounds);
+    {
+        let mut h = tree.handle();
+        for round in 0..rounds as u64 {
+            for k in 1..keys {
+                h.insert(k, round);
+            }
+            for k in 1..keys {
+                h.delete(k);
+            }
+            trajectory.push(tree.collector().stats().unreclaimed);
+        }
+    }
+    let stats = tree.collector().stats();
+    park_tx.send(()).unwrap();
+    reader.join().unwrap();
+
+    let samples = trajectory
+        .iter()
+        .map(|u| u.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "{:<16} {:>5} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "stalled-reader",
+        policy.name(),
+        1,
+        "-",
+        trajectory.iter().copied().max().unwrap_or(0),
+        stats.unreclaimed,
+        stats.oldest_epoch_age,
+        "-"
+    );
+    format!(
+        "{{\"experiment\":\"smr\",\"cell\":\"stalled-reader\",\"structure\":\"elim-abtree\",\
+         \"smr\":\"{}\",\"rounds\":{rounds},\"keys_per_round\":{},\
+         \"unreclaimed_per_round\":[{samples}],\"final_unreclaimed\":{},\"reclaim_lag\":{}}}",
+        policy.name(),
+        keys - 1,
+        stats.unreclaimed,
+        stats.oldest_epoch_age
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let duration = Duration::from_millis(if smoke { 200 } else { 2_000 });
+    let (rounds, keys) = if smoke { (3, 4_096) } else { (8, 16_384) };
+
+    println!("SMR backend footprint (elim-abtree, {threads} churn threads):");
+    println!(
+        "{:<16} {:>5} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "cell", "smr", "threads", "ops/us", "peak-unrec", "final-unrec", "rec-lag", "valid"
+    );
+
+    let mut rows = Vec::new();
+    for policy in SmrPolicy::ALL {
+        rows.push(churn_cell(policy, threads, duration));
+    }
+    for policy in SmrPolicy::ALL {
+        rows.push(stalled_reader_cell(policy, rounds, keys));
+    }
+    for row in rows {
+        eprintln!("{row}");
+    }
+}

@@ -192,6 +192,7 @@ pub fn run_scan_figure(
                     threads: t,
                     duration,
                     seed: 0x5CA7,
+                    ..Default::default()
                 };
                 let mut r = run_ycsb(&cfg);
                 r.experiment = "fig18".into();

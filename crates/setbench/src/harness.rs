@@ -10,7 +10,9 @@ use workload::{
     DEFAULT_MAX_SCAN_LEN,
 };
 
-use crate::registry::{make_structure, Benchable};
+use abebr::SmrPolicy;
+
+use crate::registry::{make_structure_smr, Benchable};
 use crate::report::BenchResult;
 
 /// Configuration of one microbenchmark run (one cell of Figures 12-15/17/18
@@ -37,6 +39,9 @@ pub struct MicrobenchConfig {
     pub duration: Duration,
     /// RNG seed (each thread derives its own stream).
     pub seed: u64,
+    /// SMR backend for the structure's reclamation collector
+    /// (`--smr={ebr,hp}` in the harness binaries).
+    pub smr: SmrPolicy,
 }
 
 impl Default for MicrobenchConfig {
@@ -51,6 +56,7 @@ impl Default for MicrobenchConfig {
             threads: 1,
             duration: Duration::from_millis(50),
             seed: 1,
+            smr: SmrPolicy::default(),
         }
     }
 }
@@ -75,6 +81,8 @@ pub struct YcsbConfig {
     pub duration: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// SMR backend for the structure's reclamation collector.
+    pub smr: SmrPolicy,
 }
 
 impl Default for YcsbConfig {
@@ -88,6 +96,7 @@ impl Default for YcsbConfig {
             threads: 1,
             duration: Duration::from_millis(50),
             seed: 1,
+            smr: SmrPolicy::default(),
         }
     }
 }
@@ -211,9 +220,23 @@ fn prefill_parallel(
     sum_i128
 }
 
+/// End-of-run reclamation columns for a result row: the backend label plus
+/// the `unreclaimed` / lag gauges scraped from the structure's collector
+/// (`"none"` and zeros for structures that don't reclaim through one).
+fn reclamation_columns(map: &dyn Benchable, policy: SmrPolicy) -> (String, u64, u64) {
+    match map.ebr_stats() {
+        Some(stats) => (
+            policy.name().to_string(),
+            stats.unreclaimed,
+            stats.oldest_epoch_age,
+        ),
+        None => ("none".to_string(), 0, 0),
+    }
+}
+
 /// Runs one microbenchmark cell: prefill, measured phase, validation.
 pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
-    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure_smr(&cfg.structure, cfg.smr));
     let mix = OperationMix::from_update_and_scan_percent(cfg.update_percent, cfg.scan_percent);
     let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
 
@@ -295,6 +318,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
         + tallies.iter().map(|t| t.inserted_sum).sum::<i128>()
         - tallies.iter().map(|t| t.deleted_sum).sum::<i128>();
     let validated = map.key_sum() as i128 == net;
+    let (smr, unreclaimed, reclaim_lag) = reclamation_columns(map.as_ref().as_ref(), cfg.smr);
 
     BenchResult {
         experiment: String::new(),
@@ -308,6 +332,9 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
         duration_secs: elapsed.as_secs_f64(),
         throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
         validated,
+        smr,
+        unreclaimed,
+        reclaim_lag,
     }
 }
 
@@ -317,7 +344,7 @@ pub fn run_microbench(cfg: &MicrobenchConfig) -> BenchResult {
 /// lookups; only inserts (Workloads D/E) modify the index.  Workload E scans
 /// drive `ConcurrentMap::range` over the requested key window.
 pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
-    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+    let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure_smr(&cfg.structure, cfg.smr));
     let workload = YcsbWorkload::new(cfg.kind, cfg.records, cfg.zipf)
         .with_max_scan_len(cfg.max_scan_len.max(1));
 
@@ -408,6 +435,7 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
     let scan_ops: u64 = tallies.iter().map(|t| t.scan_ops).sum();
     let net: i128 = load_sum + tallies.iter().map(|t| t.inserted_sum).sum::<i128>();
     let validated = map.key_sum() as i128 == net;
+    let (smr, unreclaimed, reclaim_lag) = reclamation_columns(map.as_ref().as_ref(), cfg.smr);
 
     BenchResult {
         experiment: workload.label().into(),
@@ -421,6 +449,9 @@ pub fn run_ycsb(cfg: &YcsbConfig) -> BenchResult {
         duration_secs: elapsed.as_secs_f64(),
         throughput_mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
         validated,
+        smr,
+        unreclaimed,
+        reclaim_lag,
     }
 }
 
@@ -441,7 +472,7 @@ pub struct MicrobenchInstance {
 impl MicrobenchInstance {
     /// Builds the data structure and prefills it to half the key range.
     pub fn new(cfg: MicrobenchConfig) -> Self {
-        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure_smr(&cfg.structure, cfg.smr));
         let target = cfg.key_range / 2;
         prefill_parallel(&map, cfg.key_range, target, cfg.threads, cfg.seed);
         let dist = KeyDistribution::from_zipf_parameter(cfg.key_range, cfg.zipf);
@@ -524,7 +555,7 @@ pub struct YcsbInstance {
 impl YcsbInstance {
     /// Builds the index and loads `cfg.records` records.
     pub fn new(cfg: YcsbConfig) -> Self {
-        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure(&cfg.structure));
+        let map: Arc<Box<dyn Benchable>> = Arc::new(make_structure_smr(&cfg.structure, cfg.smr));
         let workload = YcsbWorkload::new(cfg.kind, cfg.records, cfg.zipf)
             .with_max_scan_len(cfg.max_scan_len.max(1));
         std::thread::scope(|scope| {

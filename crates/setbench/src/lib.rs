@@ -76,6 +76,7 @@ mod tests {
                 threads: 2,
                 duration: Duration::from_millis(40),
                 seed: 5,
+                ..Default::default()
             };
             let result = run_ycsb(&cfg);
             assert!(result.validated, "validation failed for {name}");
@@ -98,6 +99,7 @@ mod tests {
             threads: 2,
             duration: Duration::from_millis(60),
             seed: 11,
+            ..Default::default()
         };
         let r = run_microbench(&cfg);
         assert!(r.validated);

@@ -16,6 +16,7 @@
 //! (plus `impl abtree::KeySum` next to the structure itself if it does not
 //! already have one).
 
+use abebr::{Collector, SmrPolicy};
 use abtree::{ConcurrentMap, ElimABTree, KeySum, OccABTree};
 use baselines::{CaTree, CowABTree, FpTree, LazySkipList, LockExtBst};
 use pabtree::{PElimABTree, POccABTree};
@@ -92,17 +93,30 @@ pub struct StructureDescriptor {
     pub category: StructureCategory,
     /// Native or fallback range scans.
     pub scan: ScanSupport,
-    /// Builds a fresh, empty instance.
-    pub factory: fn() -> Box<dyn Benchable>,
+    /// Builds a fresh, empty instance reclaiming under the given SMR
+    /// policy.  Structures without a reclamation collector (the FPtree)
+    /// ignore the policy.
+    pub factory: fn(SmrPolicy) -> Box<dyn Benchable>,
 }
 
 use ScanSupport::{Fallback, Native, Snapshot};
 use StructureCategory::{Persistent, Volatile};
 
-/// Factory helper: builds a default instance of `T` behind the trait object.
-/// Turbofishing the concrete type pins generic defaults (e.g. the MCS lock),
-/// which a bare closure would leave unconstrained.
-fn boxed<T: Benchable + Default + 'static>() -> Box<dyn Benchable> {
+/// Factory helper: builds `T` on a collector running the requested SMR
+/// backend.  Turbofishing the concrete type pins generic defaults (e.g. the
+/// MCS lock), which a bare closure would leave unconstrained.
+macro_rules! smr_factory {
+    ($ty:ty) => {{
+        fn build(policy: SmrPolicy) -> Box<dyn Benchable> {
+            Box::new(<$ty>::with_collector(Collector::with_policy(policy)))
+        }
+        build
+    }};
+}
+
+/// Factory helper for structures that do not reclaim through a collector:
+/// builds the default instance whatever the requested policy.
+fn boxed_no_smr<T: Benchable + Default + 'static>(_policy: SmrPolicy) -> Box<dyn Benchable> {
     Box::new(T::default())
 }
 
@@ -114,55 +128,55 @@ pub static STRUCTURES: &[StructureDescriptor] = &[
         name: "elim-abtree",
         category: Volatile,
         scan: Snapshot,
-        factory: boxed::<ElimABTree>,
+        factory: smr_factory!(ElimABTree),
     },
     StructureDescriptor {
         name: "occ-abtree",
         category: Volatile,
         scan: Snapshot,
-        factory: boxed::<OccABTree>,
+        factory: smr_factory!(OccABTree),
     },
     StructureDescriptor {
         name: "catree",
         category: Volatile,
         scan: Fallback,
-        factory: boxed::<CaTree>,
+        factory: smr_factory!(CaTree),
     },
     StructureDescriptor {
         name: "lf-abtree(cow)",
         category: Volatile,
         scan: Native,
-        factory: boxed::<CowABTree>,
+        factory: smr_factory!(CowABTree),
     },
     StructureDescriptor {
         name: "ext-bst-lock",
         category: Volatile,
         scan: Fallback,
-        factory: boxed::<LockExtBst>,
+        factory: smr_factory!(LockExtBst),
     },
     StructureDescriptor {
         name: "skiplist-lazy",
         category: Volatile,
         scan: Native,
-        factory: boxed::<LazySkipList>,
+        factory: smr_factory!(LazySkipList),
     },
     StructureDescriptor {
         name: "p-elim-abtree",
         category: Persistent,
         scan: Snapshot,
-        factory: boxed::<PElimABTree>,
+        factory: smr_factory!(PElimABTree),
     },
     StructureDescriptor {
         name: "p-occ-abtree",
         category: Persistent,
         scan: Snapshot,
-        factory: boxed::<POccABTree>,
+        factory: smr_factory!(POccABTree),
     },
     StructureDescriptor {
         name: "fptree",
         category: Persistent,
         scan: Fallback,
-        factory: boxed::<FpTree>,
+        factory: boxed_no_smr::<FpTree>,
     },
 ];
 
@@ -234,10 +248,19 @@ pub fn snapshot_scan_structures() -> Vec<&'static str> {
         .collect()
 }
 
-/// Instantiates a structure by name.  Panics on unknown names.
+/// Instantiates a structure by name under the default SMR policy (EBR).
+/// Panics on unknown names.
 pub fn make_structure(name: &str) -> Box<dyn Benchable> {
+    make_structure_smr(name, SmrPolicy::default())
+}
+
+/// Instantiates a structure by name with its reclamation collector running
+/// the given SMR backend (`--smr={ebr,hp}` in the harness binaries).
+/// Structures that do not reclaim through a collector ignore the policy.
+/// Panics on unknown names.
+pub fn make_structure_smr(name: &str, policy: SmrPolicy) -> Box<dyn Benchable> {
     match descriptor(name) {
-        Some(d) => (d.factory)(),
+        Some(d) => (d.factory)(policy),
         None => panic!("unknown data structure: {name}"),
     }
 }
@@ -259,6 +282,36 @@ mod tests {
         }
     }
 
+    /// Every registry structure must run under both SMR backends: build it
+    /// per policy, do a small update/read/delete workload that forces
+    /// retirements, and check the collector actually runs the requested
+    /// backend (where the structure has one).
+    #[test]
+    fn registry_builds_every_structure_under_both_smr_policies() {
+        for policy in SmrPolicy::ALL {
+            for name in structure_names() {
+                let s = make_structure_smr(name, policy);
+                let mut session = s.handle();
+                for k in 1..200u64 {
+                    assert_eq!(session.insert(k, k * 3), None, "{name}/{policy}");
+                }
+                for k in 1..200u64 {
+                    assert_eq!(session.get(k), Some(k * 3), "{name}/{policy}");
+                }
+                for k in 1..200u64 {
+                    assert_eq!(session.delete(k), Some(k * 3), "{name}/{policy}");
+                }
+                drop(session);
+                // The reclamation gauges must stay scrapeable per backend
+                // (not every structure retires in this small workload —
+                // e.g. the CA tree only retires on adaptation).
+                if let Some(stats) = s.ebr_stats() {
+                    assert!(stats.freed <= stats.retired, "{name}/{policy}");
+                }
+            }
+        }
+    }
+
     /// The round-trip property of the descriptor table: every name resolves
     /// back to its own descriptor, constructs a structure reporting that
     /// name, and names are unique.
@@ -267,7 +320,7 @@ mod tests {
         let mut seen = HashSet::new();
         for d in STRUCTURES {
             assert!(seen.insert(d.name), "duplicate registry name: {}", d.name);
-            let built = (d.factory)();
+            let built = (d.factory)(SmrPolicy::default());
             assert_eq!(
                 built.name(),
                 d.name,
@@ -348,7 +401,7 @@ mod tests {
         // Whatever the support level, every structure must answer scans.
         let mut out = Vec::new();
         for d in STRUCTURES {
-            let s = (d.factory)();
+            let s = (d.factory)(SmrPolicy::default());
             let mut session = s.handle();
             for k in [2u64, 3, 5, 8, 13] {
                 session.insert(k, k * 10);

@@ -30,6 +30,15 @@ pub struct BenchResult {
     pub throughput_mops: f64,
     /// Whether the key-sum validation passed.
     pub validated: bool,
+    /// SMR backend the structure's collector ran (`"ebr"` or `"hp"`;
+    /// `"none"` for structures without a reclamation collector).
+    pub smr: String,
+    /// Retired-but-not-yet-freed objects at the end of the measured phase —
+    /// the memory-footprint cost of the reclamation scheme.
+    pub unreclaimed: u64,
+    /// End-of-run reclamation lag: epochs (EBR) or retirements (HP) by
+    /// which the oldest unreclaimed garbage trails the collector's clock.
+    pub reclaim_lag: u64,
 }
 
 /// Escapes a string for inclusion in a JSON document.
@@ -57,7 +66,8 @@ impl BenchResult {
                 "{{\"experiment\":\"{}\",\"structure\":\"{}\",\"threads\":{},",
                 "\"key_range\":{},\"update_percent\":{},\"zipf\":{},",
                 "\"total_ops\":{},\"scan_ops\":{},\"duration_secs\":{},",
-                "\"throughput_mops\":{},\"validated\":{}}}"
+                "\"throughput_mops\":{},\"validated\":{},",
+                "\"smr\":\"{}\",\"unreclaimed\":{},\"reclaim_lag\":{}}}"
             ),
             escape(&self.experiment),
             escape(&self.structure),
@@ -69,7 +79,10 @@ impl BenchResult {
             self.scan_ops,
             self.duration_secs,
             self.throughput_mops,
-            self.validated
+            self.validated,
+            escape(&self.smr),
+            self.unreclaimed,
+            self.reclaim_lag
         )
     }
 
@@ -80,7 +93,7 @@ impl BenchResult {
     /// parser.  Returns `None` on any missing, duplicate or unknown field,
     /// so truncated log lines are rejected rather than zero-filled.
     pub fn from_json(json: &str) -> Option<Self> {
-        const FIELD_COUNT: usize = 11;
+        const FIELD_COUNT: usize = 14;
         let body = json.trim().strip_prefix('{')?.strip_suffix('}')?;
         let mut r = BenchResult {
             experiment: String::new(),
@@ -94,6 +107,9 @@ impl BenchResult {
             duration_secs: 0.0,
             throughput_mops: 0.0,
             validated: false,
+            smr: String::new(),
+            unreclaimed: 0,
+            reclaim_lag: 0,
         };
         let mut seen = 0u32;
         for field in split_top_level(body) {
@@ -144,6 +160,18 @@ impl BenchResult {
                 "validated" => {
                     r.validated = value.parse().ok()?;
                     10
+                }
+                "smr" => {
+                    r.smr = unquote(value)?;
+                    11
+                }
+                "unreclaimed" => {
+                    r.unreclaimed = value.parse().ok()?;
+                    12
+                }
+                "reclaim_lag" => {
+                    r.reclaim_lag = value.parse().ok()?;
+                    13
                 }
                 _ => return None,
             };
@@ -209,8 +237,18 @@ pub fn print_figure_header(experiment: &str, description: &str) {
     println!();
     println!("=== {experiment}: {description} ===");
     println!(
-        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14} {:>10} {:>10}",
-        "structure", "threads", "keys", "upd%", "zipf", "ops/us", "scans", "valid"
+        "{:<16} {:>5} {:>8} {:>10} {:>8} {:>8} {:>14} {:>10} {:>11} {:>11} {:>10}",
+        "structure",
+        "smr",
+        "threads",
+        "keys",
+        "upd%",
+        "zipf",
+        "ops/us",
+        "scans",
+        "unreclaimed",
+        "rec-lag",
+        "valid"
     );
 }
 
@@ -218,14 +256,17 @@ pub fn print_figure_header(experiment: &str, description: &str) {
 /// JSON string (one line, suitable for machine parsing).
 pub fn print_result_row(r: &BenchResult) -> String {
     println!(
-        "{:<16} {:>8} {:>10} {:>8} {:>8} {:>14.3} {:>10} {:>10}",
+        "{:<16} {:>5} {:>8} {:>10} {:>8} {:>8} {:>14.3} {:>10} {:>11} {:>11} {:>10}",
         r.structure,
+        r.smr,
         r.threads,
         r.key_range,
         r.update_percent,
         r.zipf,
         r.throughput_mops,
         r.scan_ops,
+        r.unreclaimed,
+        r.reclaim_lag,
         if r.validated { "ok" } else { "FAIL" }
     );
     r.to_json()
@@ -249,6 +290,9 @@ mod tests {
             duration_secs: 1.0,
             throughput_mops: 0.123456,
             validated: true,
+            smr: "ebr".into(),
+            unreclaimed: 42,
+            reclaim_lag: 3,
         };
         let json = r.to_json();
         let back = BenchResult::from_json(&json).unwrap();
@@ -272,6 +316,9 @@ mod tests {
             duration_secs: 0.25,
             throughput_mops: 4.0,
             validated: false,
+            smr: "hp".into(),
+            unreclaimed: 0,
+            reclaim_lag: 0,
         };
         let back = BenchResult::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
@@ -291,6 +338,9 @@ mod tests {
             duration_secs: 1.0,
             throughput_mops: 1.0,
             validated: true,
+            smr: "ebr".into(),
+            unreclaimed: 0,
+            reclaim_lag: 0,
         };
         let json = r.to_json();
         // Missing fields (truncated log line) must not zero-fill.
@@ -321,6 +371,9 @@ mod tests {
             duration_secs: 0.1,
             throughput_mops: 0.0,
             validated: true,
+            smr: "none".into(),
+            unreclaimed: 0,
+            reclaim_lag: 0,
         };
         let json = print_result_row(&r);
         assert!(json.contains("\"structure\":\"x\""));
